@@ -1,0 +1,27 @@
+# Convenience targets for the PowerLog reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench quick-bench examples check clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+quick-bench:
+	REPRO_BENCH_SCALE=0.5 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+check:
+	$(PYTHON) -m repro experiment table1
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,31 @@
+"""Ablation (section 5.3): adaptive message buffers vs fixed sizes.
+
+The adaptive ``beta(i,j)`` rule should land near the best fixed setting
+on every workload without tuning -- that is its purpose: "a
+properly-controlled execution" between eager messaging and full batching.
+"""
+
+import math
+
+from repro.bench import run_buffer_ablation
+
+FIXED = ("beta=4", "beta=64", "beta=1024")
+
+
+def test_adaptive_buffer_near_best_fixed(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        run_buffer_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_report(report)
+
+    for row in report.rows:
+        for label in (*FIXED, "adaptive"):
+            assert not math.isnan(row[label]), row
+        best_fixed = min(row[label] for label in FIXED)
+        # adaptive within 40% of the best fixed configuration, untuned
+        assert row["adaptive"] <= best_fixed * 1.4, row
+
+    # tiny buffers must visibly inflate message counts somewhere
+    assert any(
+        row["beta=4 msgs"] > 2 * row["beta=1024 msgs"] for row in report.rows
+    )

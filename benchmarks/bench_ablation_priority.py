@@ -1,0 +1,23 @@
+"""Ablation (section 5.4): the importance threshold for sum aggregations.
+
+"Delta results are distinguished... the less important delta results are
+contained and accumulated in the local cache before they are used" --
+the optimisation must cut F' applications without breaking convergence.
+"""
+
+from repro.bench import run_priority_ablation
+
+
+def test_importance_threshold_saves_work(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        run_priority_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_report(report)
+
+    savings = []
+    for row in report.rows:
+        assert row["with F'"] <= row["without F'"], row
+        savings.append(1 - row["with F'"] / max(1, row["without F'"]))
+    # the optimisation must matter somewhere (paper: it is a headline
+    # optimisation for sum programs)
+    assert max(savings) > 0.05, savings

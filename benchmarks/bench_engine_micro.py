@@ -1,0 +1,38 @@
+"""Single-node engine micro-benchmarks across all twelve programs.
+
+Not a paper figure: a regression guard on the work-counter relationships
+the simulated cost model depends on (naive re-joins vs semi-naive deltas
+vs MRA MonoTable updates), plus wall-clock benchmarks of the two hot
+paths (relational join evaluation and MonoTable MRA sweeps).
+"""
+
+from repro.bench import run_engine_micro
+from repro.engine import MRAEvaluator, NaiveEvaluator
+from repro.graphs import rmat
+from repro.programs import PROGRAMS
+
+
+def test_engine_micro_counters(benchmark, save_report):
+    report = benchmark.pedantic(run_engine_micro, rounds=1, iterations=1)
+    save_report(report)
+    assert len(report.rows) == 12
+
+    by_name = {row["program"]: row for row in report.rows}
+    # semi-naive beats naive join work on every selective program
+    for name in ("sssp", "cc", "viterbi", "lca", "apsp"):
+        row = by_name[name]
+        assert row["semi-naive bindings"] <= row["naive bindings"], name
+
+
+def test_mra_wall_clock_sssp(benchmark):
+    plan = PROGRAMS["sssp"].plan(rmat(200, 1200, seed=71))
+    result = benchmark(lambda: MRAEvaluator(plan).run())
+    assert result.stop_reason == "fixpoint"
+
+
+def test_relational_naive_wall_clock_sssp(benchmark):
+    graph = rmat(60, 300, seed=72)
+    analysis = PROGRAMS["sssp"].analysis()
+    db = PROGRAMS["sssp"].build_database(graph)
+    result = benchmark(lambda: NaiveEvaluator(analysis, db).run())
+    assert result.stop_reason == "fixpoint"

@@ -1,0 +1,27 @@
+"""Figure 11: the unified sync-async engine vs Grape+'s AAP model.
+
+Paper finding (section 6.5): AAP is comparable-to-better than pure sync
+and async in most cases, and "on all datasets, our sync-async engine
+shows the best performance".
+"""
+
+import math
+
+from repro.bench import run_figure11
+
+
+def test_figure11_unified_vs_aap(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        run_figure11, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_report(report)
+
+    assert len(report.rows) == 6  # {sssp, pagerank} x {wiki, web, arabic}
+    for row in report.rows:
+        for mode in ("sync", "async", "aap", "sync-async"):
+            assert not math.isnan(row[mode]), row
+        # the headline claim: sync-async best on every cell
+        assert row["best"] == "sync-async", row
+        # AAP never collapses to the worst mode
+        worst = max(("sync", "async"), key=lambda mode: row[mode])
+        assert row["aap"] <= row[worst] * 1.05, row

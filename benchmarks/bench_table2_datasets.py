@@ -1,0 +1,17 @@
+"""Table 2: the dataset stand-ins next to the paper's real graphs."""
+
+from repro.bench import run_table2
+
+
+def test_table2_datasets(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        run_table2, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_report(report)
+
+    assert len(report.rows) == 6
+    # relative ordering of the paper's sizes is preserved by the stand-ins
+    paper_edge_order = [row["paper E"] for row in report.rows]
+    assert paper_edge_order == sorted(paper_edge_order)
+    for row in report.rows:
+        assert row["repro V"] > 0 and row["repro E"] > 0

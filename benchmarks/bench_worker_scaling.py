@@ -1,0 +1,24 @@
+"""Extension: unified-engine scaling with cluster size.
+
+Compute divides across workers while coordination costs do not; the
+simulator must show monotone-ish speedup and a correct result at every
+cluster size (this doubles as a regression guard for the master-check
+progress gate).
+"""
+
+import math
+
+from repro.bench import run_worker_scaling
+
+
+def test_worker_scaling(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        run_worker_scaling, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    save_report(report)
+
+    for row in report.rows:
+        times = [v for k, v in row.items() if k.endswith("w")]
+        assert not any(math.isnan(t) for t in times), row
+        # 32 workers at least 3x faster than a single worker
+        assert row["1w"] / row["32w"] > 3.0, row

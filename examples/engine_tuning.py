@@ -1,0 +1,75 @@
+"""Tuning the unified sync-async engine (section 5.3).
+
+Sweeps the engine's control knobs on one workload so the tradeoffs the
+paper describes are visible in the simulator's measured counters:
+
+* message buffer size ``beta``: eager messaging (high asynchrony, many
+  small messages) vs full batching (sync-like);
+* the adaptive rule, which should land near the best fixed beta without
+  tuning;
+* the section-5.4 importance threshold for sum programs;
+* cluster size scaling.
+
+Run:  python examples/engine_tuning.py
+"""
+
+from repro import UnifiedEngine, get_program
+from repro.distributed import ClusterConfig
+from repro.distributed.buffers import BufferPolicy
+from repro.graphs import load_dataset
+
+
+def sweep_buffers(plan, cluster) -> None:
+    print("\n-- message buffer sweep (PageRank / arabic) --")
+    print(f"{'policy':>12s} {'sim time':>9s} {'messages':>9s} {'F-apps':>10s}")
+    for beta in (4, 16, 64, 256, 1024):
+        policy = BufferPolicy(initial_beta=beta, adaptive=False)
+        result = UnifiedEngine(plan, cluster, buffer_policy=policy).run()
+        print(
+            f"{'beta=' + str(beta):>12s} {result.simulated_seconds:8.3f}s "
+            f"{result.counters.messages:9d} {result.counters.fprime_applications:10d}"
+        )
+    result = UnifiedEngine(plan, cluster).run()
+    print(
+        f"{'adaptive':>12s} {result.simulated_seconds:8.3f}s "
+        f"{result.counters.messages:9d} {result.counters.fprime_applications:10d}"
+    )
+
+
+def sweep_threshold(plan, cluster) -> None:
+    print("\n-- importance threshold sweep (section 5.4) --")
+    print(f"{'threshold':>12s} {'sim time':>9s} {'F-apps':>10s}")
+    for threshold in (0.0, 1e-7, 1e-6, 1e-5):
+        result = UnifiedEngine(
+            plan, cluster, importance_threshold=threshold
+        ).run()
+        print(
+            f"{threshold:12.0e} {result.simulated_seconds:8.3f}s "
+            f"{result.counters.fprime_applications:10d}"
+        )
+
+
+def sweep_cluster_size(spec, graph) -> None:
+    print("\n-- cluster size scaling --")
+    print(f"{'workers':>8s} {'sim time':>9s}")
+    for workers in (2, 4, 8, 16, 32):
+        cluster = ClusterConfig(num_workers=workers)
+        plan = spec.plan(graph)
+        result = UnifiedEngine(plan, cluster).run()
+        print(f"{workers:8d} {result.simulated_seconds:8.3f}s")
+
+
+def main() -> None:
+    spec = get_program("pagerank")
+    graph = load_dataset("arabic")
+    cluster = ClusterConfig(num_workers=16)
+    plan = spec.plan(graph)
+    print(f"workload: PageRank on {graph}")
+
+    sweep_buffers(plan, cluster)
+    sweep_threshold(plan, cluster)
+    sweep_cluster_size(spec, graph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Aggregate operators for recursive aggregate programs.
+
+The paper (section 5.1) predefines five aggregate operators -- ``min``,
+``max``, ``sum``, ``count`` and ``mean`` -- of which the first four are
+commutative and associative (Property 1 of Theorem 1) while ``mean`` is
+not.  Each operator here carries everything the rest of the system needs:
+
+* the binary combine function ``g`` and its identity element;
+* the inverse ``G⁻`` used to determine the initial delta ``ΔX¹``
+  (section 3.3: ``min`` -> ``min``, ``sum`` -> pairwise subtraction);
+* algebraic metadata consumed by the condition checker (commutativity,
+  associativity, and the *kind* -- additive vs selective -- that selects
+  which Property-2 proof obligation applies to ``F'``);
+* runtime predicates used by the MonoTable engines (idempotence and
+  "does this delta improve the accumulated value").
+"""
+
+from repro.aggregates.base import Aggregate, AggregateKind
+from repro.aggregates.builtin import (
+    MIN,
+    MAX,
+    SUM,
+    COUNT,
+    MEAN,
+    BUILTIN_AGGREGATES,
+    get_aggregate,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateKind",
+    "MIN",
+    "MAX",
+    "SUM",
+    "COUNT",
+    "MEAN",
+    "BUILTIN_AGGREGATES",
+    "get_aggregate",
+]

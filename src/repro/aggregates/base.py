@@ -1,0 +1,72 @@
+"""The aggregate operator protocol."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+
+class AggregateKind(enum.Enum):
+    """Algebraic family of an aggregate, selecting checker obligations.
+
+    * ``ADDITIVE`` (``sum``, ``count``): Property 2 of Theorem 1 holds iff
+      ``F'`` is additive (linear homogeneous) in the recursion variable.
+    * ``SELECTIVE`` (``min``, ``max``): Property 2 holds iff ``F'`` is
+      monotone non-decreasing in the recursion variable, so that it
+      distributes over the selection.
+    * ``OTHER`` (``mean``): no structural shortcut; Property 1 itself
+      already fails, so such programs fall back to naive evaluation.
+    """
+
+    ADDITIVE = "additive"
+    SELECTIVE = "selective"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A group-by aggregate operator ``G``.
+
+    ``combine`` is the binary ``g`` of the paper's Z3 encoding (Figure 4);
+    n-ary aggregation is derived from it by left folding, which is valid
+    exactly when the operator is associative -- the checker verifies this
+    before any engine relies on it.
+    """
+
+    name: str
+    kind: AggregateKind
+    identity: Optional[object]
+    combine: Callable[[object, object], object]
+    #: ``G⁻(new, old)``: the delta that, combined with ``old``, yields
+    #: ``new``.  Returns ``None`` when no delta is needed (already equal).
+    subtract: Callable[[object, object], Optional[object]]
+    is_commutative: bool = True
+    is_associative: bool = True
+    #: Idempotent aggregates (min/max) allow the MonoTable engines to
+    #: prune propagation of deltas that do not improve the accumulator.
+    is_idempotent: bool = False
+
+    def combine_many(self, values: Iterable[object]):
+        """Fold ``combine`` over ``values``, starting from the identity."""
+        result = self.identity
+        for value in values:
+            result = value if result is None else self.combine(result, value)
+        if result is None:
+            raise ValueError(f"aggregate {self.name} over empty input")
+        return result
+
+    def improves(self, current: object, delta: object) -> bool:
+        """Would combining ``delta`` into ``current`` change it?"""
+        if current is None:
+            return True
+        return self.combine(current, delta) != current
+
+    def delta_magnitude(self, delta: object) -> float:
+        """Contribution of a delta to the ``|ΔX| < eps`` termination test."""
+        if delta is None:
+            return 0.0
+        return abs(float(delta))
+
+    def __repr__(self):
+        return f"Aggregate({self.name})"

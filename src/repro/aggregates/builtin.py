@@ -1,0 +1,98 @@
+"""The five built-in aggregate operators of the paper (section 5.1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.aggregates.base import Aggregate, AggregateKind
+
+
+def _min_subtract(new, old) -> Optional[object]:
+    """``G⁻`` for min: the paper keeps ``min`` itself (section 3.3).
+
+    ``ΔX¹ = min(X¹, X⁰)``; when the old value is already at least as
+    small the delta carries no information and is dropped.
+    """
+    if old is None or new < old:
+        return new
+    return None
+
+
+def _max_subtract(new, old) -> Optional[object]:
+    if old is None or new > old:
+        return new
+    return None
+
+
+def _sum_subtract(new, old) -> Optional[object]:
+    """``G⁻`` for sum/count: pairwise subtraction (section 3.3)."""
+    if old is None:
+        return new
+    delta = new - old
+    return delta if delta != 0 else None
+
+
+MIN = Aggregate(
+    name="min",
+    kind=AggregateKind.SELECTIVE,
+    identity=math.inf,
+    combine=min,
+    subtract=_min_subtract,
+    is_idempotent=True,
+)
+
+MAX = Aggregate(
+    name="max",
+    kind=AggregateKind.SELECTIVE,
+    identity=-math.inf,
+    combine=max,
+    subtract=_max_subtract,
+    is_idempotent=True,
+)
+
+SUM = Aggregate(
+    name="sum",
+    kind=AggregateKind.ADDITIVE,
+    identity=0,
+    combine=lambda a, b: a + b,
+    subtract=_sum_subtract,
+)
+
+#: ``count`` shares sum's algebra: the paper's runtime semantics is
+#: ``return sum(r, count[d])`` -- counting is summation of contributions.
+COUNT = Aggregate(
+    name="count",
+    kind=AggregateKind.ADDITIVE,
+    identity=0,
+    combine=lambda a, b: a + b,
+    subtract=_sum_subtract,
+)
+
+#: ``mean`` as the binary operator the paper defines in Z3; it is neither
+#: commutative-associative as a fold nor decomposable, so it fails the
+#: Property-1 check and is never executed with MRA evaluation.
+MEAN = Aggregate(
+    name="mean",
+    kind=AggregateKind.OTHER,
+    identity=None,
+    combine=lambda a, b: (a + b) / 2,
+    subtract=lambda new, old: None,
+    is_commutative=True,
+    is_associative=False,
+)
+
+BUILTIN_AGGREGATES: dict[str, Aggregate] = {
+    agg.name: agg for agg in (MIN, MAX, SUM, COUNT, MEAN)
+}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Look up a built-in aggregate by name (raises ``KeyError`` if unknown)."""
+    try:
+        return BUILTIN_AGGREGATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name!r}; expected one of "
+            f"{sorted(BUILTIN_AGGREGATES)}"
+        ) from None

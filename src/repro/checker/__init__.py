@@ -1,0 +1,48 @@
+"""Automatic MRA condition checker (paper sections 3.3 and 5.1).
+
+PowerLog verifies, for a recursive aggregate program with aggregate ``G``
+and non-aggregate ``F'``, the two conditions of Theorem 1:
+
+* **Property 1**: ``G`` is commutative and associative
+  (``G(X ∪ Y) = G(Y ∪ X)`` and ``G(X ∪ Y) = G(G(X) ∪ Y)``);
+* **Property 2**: ``G ∘ F' ∘ G(X) = G ∘ F'(X)``.
+
+The paper discharges these with the Z3 SMT solver.  Z3 is not available
+in this offline environment, so this package substitutes a two-stage
+verifier with the same interface and verdicts:
+
+1. a *structural prover* (:mod:`repro.checker.prover`) that issues exact
+   proofs for the program class the paper studies -- for additive
+   aggregates (sum/count) Property 2 reduces to linear homogeneity of
+   ``F'`` in the recursion variable, for selective aggregates (min/max)
+   to monotonicity, both decided exactly by :mod:`repro.expr.analysis`;
+2. a *refuter* (:mod:`repro.checker.refuter`) that searches for concrete
+   counterexamples with exact rational arithmetic (directed vectors
+   including the paper's own GCN counterexample, then randomised search
+   respecting ``assume`` domains).
+
+In addition, :mod:`repro.checker.smtlib` emits the Z3 SMT-LIB 2 script of
+the paper's Figure 4 for any program, so the check can be replayed under
+real Z3 when available.
+"""
+
+from repro.checker.report import CheckReport, PropertyResult, Status
+from repro.checker.prover import prove_property1, prove_property2
+from repro.checker.refuter import refute_property1, refute_property2, Counterexample
+from repro.checker.smtlib import emit_property2_script
+from repro.checker.check import check_program, check_analysis, check_source
+
+__all__ = [
+    "CheckReport",
+    "PropertyResult",
+    "Status",
+    "prove_property1",
+    "prove_property2",
+    "refute_property1",
+    "refute_property2",
+    "Counterexample",
+    "emit_property2_script",
+    "check_program",
+    "check_analysis",
+    "check_source",
+]

@@ -1,0 +1,100 @@
+"""Structural proofs of the MRA conditions.
+
+For the program class of the paper (one aggregate over values produced by
+an arithmetic ``F'``) the two properties of Theorem 1 have exact
+structural characterisations:
+
+* **Property 1** concerns only the aggregate ``G``.  The five built-in
+  operators are predefined (paper section 5.1); their commutativity/
+  associativity is recorded as metadata and *validated* by exhaustive
+  rational testing in the test suite (and cross-checked by the refuter at
+  check time).
+
+* **Property 2** ``G ∘ F' ∘ G = G ∘ F'`` over bags of reals:
+
+  - for additive ``G`` (sum/count) it is equivalent to additivity of
+    ``F'``: ``f(x + y) = f(x) + f(y)`` for all reals, i.e. ``F'`` is
+    linear and homogeneous in the recursion variable (``f(x) = a·x``
+    where ``a`` may mention join parameters but not ``x``);
+  - for selective ``G`` (min/max) it is equivalent to ``F'`` being
+    monotone non-decreasing in the recursion variable, so that ``F'``
+    distributes over the selection (``f(min(x,y)) = min(f(x), f(y))``).
+
+Both reductions are decided exactly: linear homogeneity by rational
+canonical forms (:func:`repro.expr.is_linear_homogeneous`) and
+monotonicity by structural sign analysis under the program's ``assume``
+domains (:func:`repro.expr.is_monotone_nondecreasing`).  A failure to
+prove is *not* a refutation -- the caller then runs the refuter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.aggregates import Aggregate, AggregateKind
+from repro.checker.report import PropertyResult, Status
+from repro.expr import (
+    Expr,
+    Interval,
+    is_linear_homogeneous,
+    is_monotone_nondecreasing,
+)
+
+
+def prove_property1(aggregate: Aggregate) -> Optional[PropertyResult]:
+    """Prove Property 1 (commutativity + associativity) for ``G``.
+
+    Returns a PROVED result for the predefined commutative-associative
+    operators, ``None`` when no proof is available (refuter decides).
+    """
+    if aggregate.is_commutative and aggregate.is_associative:
+        return PropertyResult(
+            property_name="property1",
+            status=Status.PROVED,
+            method="predefined-operator",
+            detail=(
+                f"{aggregate.name} is a predefined commutative and associative "
+                "operator (paper section 5.1)"
+            ),
+        )
+    return None
+
+
+def prove_property2(
+    aggregate: Aggregate,
+    fprime: Expr,
+    recursion_var: str,
+    domains: Mapping[str, Interval],
+) -> Optional[PropertyResult]:
+    """Prove Property 2 (``G∘F'∘G = G∘F'``) structurally.
+
+    Returns a PROVED result or ``None`` when the structural argument does
+    not apply (the refuter then searches for counterexamples).
+    """
+    if aggregate.kind is AggregateKind.ADDITIVE:
+        if is_linear_homogeneous(fprime, recursion_var):
+            return PropertyResult(
+                property_name="property2",
+                status=Status.PROVED,
+                method="structural:linear-homogeneous",
+                detail=(
+                    f"F' = {fprime!r} is linear and homogeneous in "
+                    f"{recursion_var!r}, hence additive: f(x+y) = f(x)+f(y), "
+                    f"so {aggregate.name} can be pushed through F'"
+                ),
+            )
+        return None
+    if aggregate.kind is AggregateKind.SELECTIVE:
+        if is_monotone_nondecreasing(fprime, recursion_var, domains):
+            return PropertyResult(
+                property_name="property2",
+                status=Status.PROVED,
+                method="structural:monotone",
+                detail=(
+                    f"F' = {fprime!r} is monotone non-decreasing in "
+                    f"{recursion_var!r} under the declared domains, so it "
+                    f"distributes over {aggregate.name}"
+                ),
+            )
+        return None
+    return None

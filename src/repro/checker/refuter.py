@@ -1,0 +1,272 @@
+"""Counterexample search for the MRA conditions.
+
+Where the structural prover cannot establish a property, this module
+searches for concrete refutations of the Figure-4 identity
+
+    g( f(g(x1, y1)), f(g(x2, y2)) )
+        ==  g( g( g(f(x1), f(y1)), f(x2) ), f(y2) )
+
+and of its two-input core ``g(f(g(x, y))) == g(f(x), f(y))``, over
+
+* a grid of *directed vectors* that includes the paper's own GCN
+  counterexample pattern ``(-1, 2, 1, -2)`` -- sign flips are exactly
+  what breaks ``relu`` under ``sum``;
+* randomised rational samples respecting the program's ``assume``
+  domains.
+
+Whenever ``F'`` uses only exact primitives, evaluation is carried out in
+exact :class:`~fractions.Fraction` arithmetic, so a reported
+counterexample is a genuine witness, never a rounding artefact.  For
+``tanh``/``exp`` expressions a relative tolerance is used instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+from repro.aggregates import Aggregate
+from repro.checker.report import PropertyResult, Status
+from repro.expr import EvalError, Expr, Interval, evaluate
+from repro.expr.terms import Call, KNOWN_FUNCTIONS
+
+#: directed test values; includes the paper's GCN counterexample pattern.
+_DIRECTED_VALUES = [
+    Fraction(-2),
+    Fraction(-1),
+    Fraction(-1, 2),
+    Fraction(0),
+    Fraction(1, 2),
+    Fraction(1),
+    Fraction(2),
+    Fraction(3),
+]
+
+_FLOAT_TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete witness that a property fails."""
+
+    inputs: dict
+    lhs: object
+    rhs: object
+
+    def as_dict(self) -> dict:
+        return {
+            "inputs": {k: _pretty(v) for k, v in self.inputs.items()},
+            "lhs": _pretty(self.lhs),
+            "rhs": _pretty(self.rhs),
+        }
+
+
+def _pretty(value):
+    if isinstance(value, Fraction):
+        return float(value) if value.denominator != 1 else value.numerator
+    return value
+
+
+def _uses_inexact_primitives(expr: Expr) -> bool:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Call) and not KNOWN_FUNCTIONS[node.func]["exact"]:
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def _values_differ(lhs, rhs, exact: bool) -> bool:
+    if exact:
+        return lhs != rhs
+    scale = max(abs(float(lhs)), abs(float(rhs)), 1.0)
+    return abs(float(lhs) - float(rhs)) > _FLOAT_TOLERANCE * scale
+
+
+def _sample_in_domain(rng: random.Random, domain: Interval) -> Fraction:
+    lo = max(domain.lo, -4.0)
+    hi = min(domain.hi, 4.0)
+    if lo > hi:  # domain entirely outside the sampling window
+        lo = domain.lo if math.isfinite(domain.lo) else hi - 1.0
+        hi = lo + 1.0
+    raw = rng.uniform(lo, hi)
+    value = Fraction(raw).limit_denominator(64)
+    value = _clamp(value, domain)
+    return value
+
+
+def _clamp(value: Fraction, domain: Interval) -> Fraction:
+    nudge = Fraction(1, 16)
+    lo = Fraction(domain.lo) if math.isfinite(domain.lo) else None
+    hi = Fraction(domain.hi) if math.isfinite(domain.hi) else None
+    if lo is not None and (value < lo or (domain.lo_strict and value == lo)):
+        value = lo + (nudge if domain.lo_strict else 0)
+    if hi is not None and (value > hi or (domain.hi_strict and value == hi)):
+        value = hi - (nudge if domain.hi_strict else 0)
+    return value
+
+
+def _in_domain(value: Fraction, domain: Interval) -> bool:
+    v = float(value)
+    if v < domain.lo or (domain.lo_strict and v == domain.lo):
+        return False
+    if v > domain.hi or (domain.hi_strict and v == domain.hi):
+        return False
+    return True
+
+
+def refute_property1(
+    aggregate: Aggregate, trials: int = 500, seed: int = 7
+) -> Optional[Counterexample]:
+    """Search for a commutativity/associativity counterexample of ``G``."""
+    rng = random.Random(seed)
+    g = aggregate.combine
+    for a, b, c in itertools.product(_DIRECTED_VALUES, repeat=3):
+        witness = _property1_violation(g, a, b, c)
+        if witness is not None:
+            return witness
+    for _ in range(trials):
+        a, b, c = (
+            Fraction(rng.randint(-64, 64), rng.randint(1, 8)) for _ in range(3)
+        )
+        witness = _property1_violation(g, a, b, c)
+        if witness is not None:
+            return witness
+    return None
+
+
+def _property1_violation(g, a, b, c) -> Optional[Counterexample]:
+    try:
+        if g(a, b) != g(b, a):
+            return Counterexample({"a": a, "b": b}, g(a, b), g(b, a))
+        lhs = g(g(a, b), c)
+        rhs = g(a, g(b, c))
+        if lhs != rhs:
+            return Counterexample({"a": a, "b": b, "c": c}, lhs, rhs)
+    except (ZeroDivisionError, OverflowError):
+        return None
+    return None
+
+
+def _figure4_sides(g, f, x1, y1, x2, y2):
+    lhs = g(f(g(x1, y1)), f(g(x2, y2)))
+    rhs = g(g(g(f(x1), f(y1)), f(x2)), f(y2))
+    return lhs, rhs
+
+
+def _core_sides(g, f, x, y):
+    lhs = f(g(x, y))
+    rhs = g(f(x), f(y))
+    return lhs, rhs
+
+
+def refute_property2(
+    aggregate: Aggregate,
+    fprime: Expr,
+    recursion_var: str,
+    domains: Mapping[str, Interval],
+    trials: int = 800,
+    seed: int = 11,
+) -> Optional[Counterexample]:
+    """Search for a Property-2 counterexample of ``G ∘ F' ∘ G = G ∘ F'``.
+
+    Parameters other than the recursion variable are sampled within their
+    declared domains and held fixed across both sides of the identity
+    (they model per-edge constants of a single application of ``F'``).
+    """
+    params = sorted(fprime.free_vars() - {recursion_var})
+    exact = not _uses_inexact_primitives(fprime)
+    rng = random.Random(seed)
+    g = aggregate.combine
+
+    def make_f(param_env: dict):
+        def f(x):
+            env = dict(param_env)
+            env[recursion_var] = x
+            return evaluate(fprime, env)
+
+        return f
+
+    def param_candidates():
+        # a deterministic default assignment first, then random ones
+        default = {}
+        for name in params:
+            domain = domains.get(name, Interval.unbounded())
+            default[name] = _clamp(Fraction(1), domain)
+        yield default
+        for _ in range(max(trials // 20, 10)):
+            yield {
+                name: _sample_in_domain(rng, domains.get(name, Interval.unbounded()))
+                for name in params
+            }
+
+    recursion_domain = domains.get(recursion_var, Interval.unbounded())
+    directed = [v for v in _DIRECTED_VALUES if _in_domain(v, recursion_domain)]
+
+    for param_env in param_candidates():
+        f = make_f(param_env)
+        # directed sweep on the two-input core
+        for x, y in itertools.product(directed, repeat=2):
+            witness = _try_core(g, f, x, y, param_env, exact)
+            if witness is not None:
+                return witness
+        # directed sweep on the paper's 4-input form (coarser grid)
+        coarse = [v for v in directed if v.denominator == 1]
+        for x1, y1, x2, y2 in itertools.product(coarse, repeat=4):
+            witness = _try_figure4(g, f, x1, y1, x2, y2, param_env, exact)
+            if witness is not None:
+                return witness
+        # randomised search
+        for _ in range(trials // 10):
+            x, y = (_sample_in_domain(rng, recursion_domain) for _ in range(2))
+            witness = _try_core(g, f, x, y, param_env, exact)
+            if witness is not None:
+                return witness
+    return None
+
+
+def _try_core(g, f, x, y, param_env, exact) -> Optional[Counterexample]:
+    try:
+        lhs, rhs = _core_sides(g, f, x, y)
+    except (EvalError, ZeroDivisionError, OverflowError, ValueError):
+        return None
+    if _values_differ(lhs, rhs, exact):
+        inputs = {"x": x, "y": y, **param_env}
+        return Counterexample(inputs, lhs, rhs)
+    return None
+
+
+def _try_figure4(g, f, x1, y1, x2, y2, param_env, exact) -> Optional[Counterexample]:
+    try:
+        lhs, rhs = _figure4_sides(g, f, x1, y1, x2, y2)
+    except (EvalError, ZeroDivisionError, OverflowError, ValueError):
+        return None
+    if _values_differ(lhs, rhs, exact):
+        inputs = {"x1": x1, "y1": y1, "x2": x2, "y2": y2, **param_env}
+        return Counterexample(inputs, lhs, rhs)
+    return None
+
+
+def property_result_from_refutation(
+    property_name: str, witness: Optional[Counterexample], trials_note: str
+) -> PropertyResult:
+    """Wrap a refutation search outcome as a :class:`PropertyResult`."""
+    if witness is not None:
+        return PropertyResult(
+            property_name=property_name,
+            status=Status.REFUTED,
+            method="refuter:counterexample",
+            detail=f"counterexample found: {witness.as_dict()}",
+            counterexample=witness.as_dict(),
+        )
+    return PropertyResult(
+        property_name=property_name,
+        status=Status.UNKNOWN,
+        method="refuter:exhausted",
+        detail=f"no counterexample found ({trials_note}); no structural proof either",
+    )

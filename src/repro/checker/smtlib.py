@@ -1,0 +1,132 @@
+"""Emission of Z3-compatible SMT-LIB 2 scripts (the paper's Figure 4).
+
+The offline checker proves/refutes the MRA conditions itself, but for
+auditability it also renders, for any analysed program, the exact script
+the paper feeds to Z3: parameter declarations with their ``assume``
+constraints, ``define-fun`` for ``g`` and ``f``, and the double-negated
+``forall`` assertion for Property 2.  ``(check-sat)`` returning ``unsat``
+under Z3 then certifies that Property 2 always holds.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Mapping
+
+from repro.aggregates import Aggregate
+from repro.expr import Expr, Interval
+from repro.expr.terms import Add, Call, Const, Div, Mul, Neg, Sub, Var
+
+_G_BODIES = {
+    "sum": "(+ a b)",
+    "count": "(+ a b)",
+    "min": "(ite (<= a b) a b)",
+    "max": "(ite (>= a b) a b)",
+    "mean": "(/ (+ a b) 2.0)",
+}
+
+#: exact primitives get SMT definitions; transcendental ones are declared
+#: uninterpreted (Z3 cannot decide them anyway).
+_FUNCTION_DEFS = {
+    "relu": "(define-fun relu ((v Real)) Real (ite (> v 0) v 0))",
+    "abs": "(define-fun abs_ ((v Real)) Real (ite (< v 0) (- v) v))",
+}
+_UNINTERPRETED = {"tanh", "exp", "log", "sigmoid"}
+_RENAMED = {"abs": "abs_"}
+
+
+def _sexpr_const(value: Fraction) -> str:
+    if value < 0:
+        return f"(- {_sexpr_const(-value)})"
+    if value.denominator == 1:
+        return f"{value.numerator}.0"
+    return f"(/ {value.numerator}.0 {value.denominator}.0)"
+
+
+def expr_to_sexpr(expr: Expr) -> str:
+    """Render an expression as an SMT-LIB s-expression."""
+    if isinstance(expr, Const):
+        return _sexpr_const(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Add):
+        return f"(+ {expr_to_sexpr(expr.left)} {expr_to_sexpr(expr.right)})"
+    if isinstance(expr, Sub):
+        return f"(- {expr_to_sexpr(expr.left)} {expr_to_sexpr(expr.right)})"
+    if isinstance(expr, Mul):
+        return f"(* {expr_to_sexpr(expr.left)} {expr_to_sexpr(expr.right)})"
+    if isinstance(expr, Div):
+        return f"(/ {expr_to_sexpr(expr.left)} {expr_to_sexpr(expr.right)})"
+    if isinstance(expr, Neg):
+        return f"(- {expr_to_sexpr(expr.operand)})"
+    if isinstance(expr, Call):
+        name = _RENAMED.get(expr.func, expr.func)
+        args = " ".join(expr_to_sexpr(a) for a in expr.args)
+        return f"({name} {args})"
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _called_functions(expr: Expr) -> set[str]:
+    found: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Call):
+            found.add(node.func)
+        stack.extend(node.children())
+    return found
+
+
+def _domain_assertions(name: str, domain: Interval) -> list[str]:
+    out = []
+    if math.isfinite(domain.lo):
+        op = ">" if domain.lo_strict else ">="
+        out.append(f"(assert ({op} {name} {domain.lo:g}))")
+    if math.isfinite(domain.hi):
+        op = "<" if domain.hi_strict else "<="
+        out.append(f"(assert ({op} {name} {domain.hi:g}))")
+    return out
+
+
+def emit_property2_script(
+    aggregate: Aggregate,
+    fprime: Expr,
+    recursion_var: str,
+    domains: Mapping[str, Interval] | None = None,
+    program_name: str = "program",
+) -> str:
+    """Render the Figure-4 verification script for a program.
+
+    The script asserts the *negation* of
+    ``g(f(g(x1,y1)), f(g(x2,y2))) = g(g(g(f(x1),f(y1)),f(x2)),f(y2))``;
+    Z3 answering ``unsat`` proves Property 2.
+    """
+    domains = domains or {}
+    params = sorted(fprime.free_vars() - {recursion_var})
+    lines = [f"; Property 2 check for {program_name} (paper Figure 4)"]
+    for name in params:
+        lines.append(f"(declare-const {name} Real)")
+    for name in params:
+        if name in domains:
+            lines.extend(_domain_assertions(name, domains[name]))
+
+    for func in sorted(_called_functions(fprime)):
+        if func in _FUNCTION_DEFS:
+            lines.append(_FUNCTION_DEFS[func])
+        elif func in _UNINTERPRETED:
+            lines.append(f"(declare-fun {func} (Real) Real)  ; uninterpreted")
+
+    g_body = _G_BODIES[aggregate.name]
+    lines.append(f"(define-fun g ((a Real) (b Real)) Real {g_body})")
+    f_body = expr_to_sexpr(fprime.substitute({recursion_var: Var("a")}))
+    lines.append(f"(define-fun f ((a Real)) Real {f_body})")
+
+    lhs = "(g (f (g x1 y1)) (f (g x2 y2)))"
+    rhs = "(g (g (g (f x1) (f y1)) (f x2)) (f y2))"
+    lines.append(
+        "(assert (not (forall ((x1 Real) (y1 Real) (x2 Real) (y2 Real))\n"
+        f"    (= {lhs}\n       {rhs}))))"
+    )
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

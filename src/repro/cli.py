@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check FILE|PROGRAM``  -- run the automatic MRA condition checker on a
+  Datalog source file (or a library program name); ``--smt2`` also emits
+  the Figure-4 Z3 script;
+* ``run PROGRAM``         -- execute a library program on a dataset
+  stand-in under a chosen engine;
+* ``experiment NAME``     -- regenerate a paper table/figure
+  (``table1``, ``table2``, ``figure1``, ``figure9``, ``figure10``,
+  ``figure11``, ``buffers``, ``priority``, ``micro``);
+* ``programs``            -- list the fourteen Table-1 programs;
+* ``datasets``            -- list the Table-2 dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.checker import check_analysis, emit_property2_script
+from repro.datalog import analyze, parse_program
+from repro.distributed import (
+    AAPEngine,
+    AsyncEngine,
+    ClusterConfig,
+    SyncEngine,
+    UnifiedEngine,
+)
+from repro.graphs import compute_stats, dataset_names, load_dataset
+from repro.programs import PROGRAMS, get_program
+from repro.systems import PowerLog
+
+_ENGINES = {
+    "sync": lambda plan, cluster: SyncEngine(plan, cluster),
+    "naive": lambda plan, cluster: SyncEngine(plan, cluster, mode="naive"),
+    "async": lambda plan, cluster: AsyncEngine(plan, cluster),
+    "unified": lambda plan, cluster: UnifiedEngine(plan, cluster),
+    "aap": lambda plan, cluster: AAPEngine(plan, cluster),
+}
+
+_EXPERIMENTS = {
+    "table1": ("run_table1", {}),
+    "table2": ("run_table2", {}),
+    "figure1": ("run_figure1", {}),
+    "figure9": ("run_figure9", {}),
+    "figure10": ("run_figure10", {}),
+    "figure11": ("run_figure11", {}),
+    "buffers": ("run_buffer_ablation", {}),
+    "priority": ("run_priority_ablation", {}),
+    "micro": ("run_engine_micro", {}),
+    "scaling": ("run_worker_scaling", {}),
+}
+
+
+def _load_analysis(target: str):
+    """A Datalog file path or a library program name."""
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        name = os.path.splitext(os.path.basename(target))[0]
+        return analyze(parse_program(source, name=name))
+    if target in PROGRAMS:
+        return PROGRAMS[target].analysis()
+    raise SystemExit(
+        f"error: {target!r} is neither a file nor a library program "
+        f"(library programs: {', '.join(PROGRAMS)})"
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    analysis = _load_analysis(args.target)
+    report = check_analysis(analysis)
+    print(report.summary())
+    print(f"  F' = {analysis.fprime!r}   (recursion variable {analysis.recursion_var!r})")
+    print(f"  property 1: {report.property1.detail}")
+    print(f"  property 2: {report.property2.detail}")
+    if args.smt2:
+        script = emit_property2_script(
+            analysis.aggregate,
+            analysis.fprime,
+            analysis.recursion_var,
+            analysis.domains,
+            program_name=analysis.program.name,
+        )
+        with open(args.smt2, "w", encoding="utf-8") as handle:
+            handle.write(script)
+        print(f"  Z3 script written to {args.smt2}")
+    return 0 if report.mra_satisfiable else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.graphs import read_edge_list
+
+    spec = get_program(args.program)
+    if args.graph:
+        graph = read_edge_list(args.graph)
+    else:
+        graph = load_dataset(args.dataset, args.scale)
+    cluster = ClusterConfig(num_workers=args.workers)
+    if args.engine == "powerlog":
+        system = PowerLog()
+        print(system.decide(spec).summary())
+        result = system.run(spec, graph, cluster)
+    else:
+        plan = spec.plan(graph)
+        result = _ENGINES[args.engine](plan, cluster).run()
+    print(
+        f"{spec.title} on {graph.name} ({graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges), engine={result.engine or args.engine}"
+    )
+    print(
+        f"  {len(result.values)} result keys, stop={result.stop_reason}, "
+        f"simulated {result.simulated_seconds:.3f}s"
+    )
+    counters = result.counters.snapshot()
+    print(
+        f"  work: {counters['fprime_applications']} F' applications, "
+        f"{counters['messages']} messages, {counters['barriers']} barriers"
+    )
+    if args.top:
+        ranked = sorted(result.values.items(), key=lambda kv: kv[1])
+        if spec.analysis().aggregate.name in ("sum", "max", "count"):
+            ranked = ranked[::-1]
+        print(f"  top {args.top}:")
+        for key, value in ranked[: args.top]:
+            print(f"    {key}: {value}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.bench as bench
+
+    runner_name, kwargs = _EXPERIMENTS[args.name]
+    runner = getattr(bench, runner_name)
+    report = runner(**kwargs)
+    print(report.text)
+    if args.save:
+        path = bench.write_report(report.name, report.text)
+        print(f"[saved to {path}]")
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    from repro.datalog import incremental_source
+
+    analysis = _load_analysis(args.target)
+    if not analysis.iterated:
+        print(f"{analysis.program.name} is already in incremental form")
+        return 0
+    print(f"% equivalent incremental program (paper Program 2.b, section 3.3)")
+    print(incremental_source(analysis))
+    return 0
+
+
+def cmd_programs(_: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'title':24s} {'aggregator':10s} {'MRA sat.':8s} benchmarked")
+    for name, spec in PROGRAMS.items():
+        print(
+            f"{name:12s} {spec.title:24s} {spec.aggregator:10s} "
+            f"{'yes' if spec.expected_mra else 'no':8s} "
+            f"{'yes' if spec.benchmarked else ''}"
+        )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        stats = compute_stats(load_dataset(name, args.scale))
+        print(stats.row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PowerLog reproduction (SIGMOD 2020)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="run the MRA condition checker")
+    check.add_argument("target", help="Datalog file or library program name")
+    check.add_argument("--smt2", help="also write the Figure-4 Z3 script here")
+    check.set_defaults(func=cmd_check)
+
+    run = commands.add_parser("run", help="execute a library program")
+    run.add_argument("program", choices=sorted(PROGRAMS))
+    run.add_argument("--dataset", default="livej", choices=dataset_names())
+    run.add_argument(
+        "--graph", help="run on a TSV edge-list file instead of a dataset"
+    )
+    run.add_argument(
+        "--engine",
+        default="powerlog",
+        choices=["powerlog", *sorted(_ENGINES)],
+    )
+    run.add_argument("--workers", type=int, default=16)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--top", type=int, default=0, help="print the top-N results")
+    run.set_defaults(func=cmd_run)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--save", action="store_true", help="persist under benchmarks/results/"
+    )
+    experiment.set_defaults(func=cmd_experiment)
+
+    rewrite = commands.add_parser(
+        "rewrite", help="emit the equivalent incremental program (Program 2.b)"
+    )
+    rewrite.add_argument("target", help="Datalog file or library program name")
+    rewrite.set_defaults(func=cmd_rewrite)
+
+    programs = commands.add_parser("programs", help="list the Table-1 programs")
+    programs.set_defaults(func=cmd_programs)
+
+    datasets = commands.add_parser("datasets", help="list dataset stand-ins")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.set_defaults(func=cmd_datasets)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Datalog front-end for recursive aggregate programs.
+
+Implements the paper's Datalog dialect (sections 2.1, 3.1 and 6.1):
+
+* rules with multiple ``;``-separated bodies;
+* aggregate heads such as ``sssp(Y, min[dy])``;
+* iteration-indexed predicates (``rank(i+1, Y, sum[ry]) :- rank(i, X, rx)``)
+  expressing replacement semantics for limit programs like PageRank;
+* user-level termination clauses ``{sum[delta] < 0.001}`` (the syntax
+  extension of section 3.1);
+* ``assume`` declarations giving parameter domains for the condition
+  checker (the ``(assert (> d 0))`` of the paper's Figure 4).
+
+The pipeline mirrors PowerLog's (Figure 6): :mod:`~repro.datalog.lexer`
+and :mod:`~repro.datalog.parser` play the role of the ANTLR front end,
+producing the AST of :mod:`~repro.datalog.ast`;
+:mod:`~repro.datalog.analyzer` traverses it to identify the recursive
+rule and extract the aggregate ``G``, the non-aggregate ``F'`` and the
+constant part ``C`` (section 5.1).
+"""
+
+from repro.datalog.errors import DatalogError, LexError, ParseError, AnalysisError
+from repro.datalog.ast import (
+    Variable,
+    NumberConstant,
+    SymbolConstant,
+    Wildcard,
+    IterationCurrent,
+    IterationNext,
+    AggregateSpec,
+    PredicateAtom,
+    ComparisonAtom,
+    TerminationAtom,
+    AssumeDecl,
+    RuleHead,
+    RuleBody,
+    Rule,
+    Program,
+)
+from repro.datalog.lexer import tokenize, Token
+from repro.datalog.parser import parse_program
+from repro.datalog.analyzer import analyze, ProgramAnalysis, RecursionSpec
+from repro.datalog.rewrite import rewrite_to_incremental, incremental_source
+
+__all__ = [
+    "DatalogError",
+    "LexError",
+    "ParseError",
+    "AnalysisError",
+    "Variable",
+    "NumberConstant",
+    "SymbolConstant",
+    "Wildcard",
+    "IterationCurrent",
+    "IterationNext",
+    "AggregateSpec",
+    "PredicateAtom",
+    "ComparisonAtom",
+    "TerminationAtom",
+    "AssumeDecl",
+    "RuleHead",
+    "RuleBody",
+    "Rule",
+    "Program",
+    "tokenize",
+    "Token",
+    "parse_program",
+    "analyze",
+    "ProgramAnalysis",
+    "RecursionSpec",
+    "rewrite_to_incremental",
+    "incremental_source",
+]

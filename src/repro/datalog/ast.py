@@ -1,0 +1,241 @@
+"""Abstract syntax tree for the Datalog dialect.
+
+Terms in predicate arguments are deliberately simple -- variables,
+constants, wildcards and the two iteration markers ``i`` / ``i+1`` --
+while the right-hand sides of comparison atoms are full arithmetic
+expressions from :mod:`repro.expr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.expr import Expr
+
+
+# --------------------------------------------------------------------------
+# Terms (arguments of predicate atoms)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, e.g. ``X`` or ``dx``."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class NumberConstant:
+    """A numeric constant appearing as a predicate argument."""
+
+    value: Fraction
+
+    def __repr__(self):
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"{float(self.value):g}"
+
+
+@dataclass(frozen=True)
+class SymbolConstant:
+    """A quoted symbolic constant, e.g. ``"label_a"``."""
+
+    value: str
+
+    def __repr__(self):
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """The anonymous term ``_`` (as in ``cc(X, X) :- edge(X, _)``)."""
+
+    def __repr__(self):
+        return "_"
+
+
+@dataclass(frozen=True)
+class IterationCurrent:
+    """The iteration index in a body atom: ``rank(i, X, rx)``."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class IterationNext:
+    """The incremented iteration index in a head: ``rank(i+1, Y, ...)``."""
+
+    name: str
+
+    def __repr__(self):
+        return f"{self.name}+1"
+
+
+Term = Union[Variable, NumberConstant, SymbolConstant, Wildcard, IterationCurrent, IterationNext]
+
+
+# --------------------------------------------------------------------------
+# Atoms
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate head position, e.g. ``min[dy]``."""
+
+    op: str
+    variable: str
+
+    def __repr__(self):
+        return f"{self.op}[{self.variable}]"
+
+
+@dataclass(frozen=True)
+class PredicateAtom:
+    """A table predicate in a rule body, e.g. ``edge(X, Y, dxy)``."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def variables(self) -> list[str]:
+        return [t.name for t in self.terms if isinstance(t, Variable)]
+
+    def __repr__(self):
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ComparisonAtom:
+    """An expression atom, e.g. ``dy = dx + dxy`` or ``X = 1``.
+
+    With ``op == '='`` and a bare unbound variable on the left this acts
+    as an assignment; otherwise it is a filter.
+    """
+
+    left: Expr
+    op: str  # one of = != < <= > >=
+    right: Expr
+
+    def __repr__(self):
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class TerminationAtom:
+    """A user-level termination clause, e.g. ``{sum[delta] < 0.001}``.
+
+    The paper extends Datalog syntax (section 3.1) so the programmer can
+    terminate limit programs when the aggregated change between
+    consecutive results drops below a threshold.
+    """
+
+    op: str  # aggregate applied to deltas, normally "sum"
+    variable: str  # name of the delta variable (documentation only)
+    comparison: str  # "<" or "<="
+    threshold: Fraction
+
+    def __repr__(self):
+        return f"{{{self.op}[{self.variable}] {self.comparison} {float(self.threshold):g}}}"
+
+
+Atom = Union[PredicateAtom, ComparisonAtom, TerminationAtom]
+
+
+# --------------------------------------------------------------------------
+# Declarations, rules, programs
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AssumeDecl:
+    """A parameter-domain declaration, e.g. ``assume d > 0.``
+
+    Mirrors the ``(assert (> d 0))`` constraint in the paper's Figure 4.
+    """
+
+    variable: str
+    op: str  # < <= > >= =
+    bound: Fraction
+
+    def __repr__(self):
+        return f"assume {self.variable} {self.op} {float(self.bound):g}."
+
+
+@dataclass(frozen=True)
+class RuleHead:
+    name: str
+    terms: tuple[Union[Term, AggregateSpec], ...]
+
+    @property
+    def aggregate(self) -> Optional[AggregateSpec]:
+        for term in self.terms:
+            if isinstance(term, AggregateSpec):
+                return term
+        return None
+
+    def __repr__(self):
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class RuleBody:
+    atoms: tuple[Atom, ...]
+
+    def predicate_atoms(self) -> list[PredicateAtom]:
+        return [a for a in self.atoms if isinstance(a, PredicateAtom)]
+
+    def comparison_atoms(self) -> list[ComparisonAtom]:
+        return [a for a in self.atoms if isinstance(a, ComparisonAtom)]
+
+    def termination_atoms(self) -> list[TerminationAtom]:
+        return [a for a in self.atoms if isinstance(a, TerminationAtom)]
+
+    def mentions(self, predicate: str) -> bool:
+        return any(a.name == predicate for a in self.predicate_atoms())
+
+    def __repr__(self):
+        return ", ".join(repr(a) for a in self.atoms)
+
+
+@dataclass(frozen=True)
+class Rule:
+    head: RuleHead
+    bodies: tuple[RuleBody, ...]
+
+    def is_recursive(self) -> bool:
+        return any(body.mentions(self.head.name) for body in self.bodies)
+
+    def __repr__(self):
+        if not self.bodies:
+            return f"{self.head!r}."
+        joined = ";\n    :- ".join(repr(b) for b in self.bodies)
+        return f"{self.head!r} :- {joined}."
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed Datalog program: rules plus ``assume`` declarations."""
+
+    rules: tuple[Rule, ...]
+    assumptions: tuple[AssumeDecl, ...] = field(default=())
+    name: str = "program"
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        return [r for r in self.rules if r.head.name == predicate]
+
+    def head_predicates(self) -> list[str]:
+        seen: list[str] = []
+        for rule in self.rules:
+            if rule.head.name not in seen:
+                seen.append(rule.head.name)
+        return seen
+
+    def __repr__(self):
+        parts = [repr(a) for a in self.assumptions]
+        parts.extend(repr(r) for r in self.rules)
+        return "\n".join(parts)

@@ -1,0 +1,36 @@
+"""Error types for the Datalog front-end."""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all Datalog front-end errors."""
+
+
+class LexError(DatalogError):
+    """Invalid character or malformed token in the source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(DatalogError):
+    """Token stream does not match the grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(DatalogError):
+    """Program is syntactically valid but outside the supported class.
+
+    The paper restricts attention to direct, linear recursion
+    (section 2.1, footnote 2): one recursive rule, at most one
+    occurrence of the head predicate per body, no mutual recursion.
+    Programs outside that class raise this error.
+    """

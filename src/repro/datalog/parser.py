@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the Datalog dialect.
+
+The grammar (terminals in quotes)::
+
+    program   := statement*
+    statement := assume | rule
+    assume    := 'assume' IDENT cmp NUMBER '.'
+    rule      := head (':-' body ((';' | ';' ':-') body)*)? '.'
+    head      := IDENT '(' headterm (',' headterm)* ')'
+    headterm  := AGG '[' IDENT ']' | term
+    body      := atom (',' atom)*
+    atom      := termination | predicate | comparison
+    termination := '{' AGG '[' IDENT ']' cmp NUMBER '}'
+    predicate := IDENT '(' term (',' term)* ')'
+    comparison := expr cmp expr
+    term      := '_' | NUMBER | '-' NUMBER | STRING | IDENT ['+' '1']
+
+Aggregate names double as ordinary identifiers elsewhere; known function
+names (``relu`` etc.) are reserved inside expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.aggregates import BUILTIN_AGGREGATES
+from repro.datalog.ast import (
+    AggregateSpec,
+    AssumeDecl,
+    ComparisonAtom,
+    NumberConstant,
+    PredicateAtom,
+    Program,
+    Rule,
+    RuleBody,
+    RuleHead,
+    SymbolConstant,
+    TerminationAtom,
+    Variable,
+    Wildcard,
+    IterationNext,
+)
+from repro.datalog.errors import ParseError
+from repro.datalog.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, Token, number_value, tokenize
+from repro.expr import Call, Const, Expr, KNOWN_FUNCTIONS, Var
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _match(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # -- grammar ------------------------------------------------------------
+    def parse_program(self, name: str) -> Program:
+        rules: list[Rule] = []
+        assumptions: list[AssumeDecl] = []
+        while not self._check(EOF):
+            if self._check(IDENT, "assume"):
+                assumptions.append(self._parse_assume())
+            else:
+                rules.append(self._parse_rule())
+        return Program(tuple(rules), tuple(assumptions), name=name)
+
+    def _parse_assume(self) -> AssumeDecl:
+        self._expect(IDENT, "assume")
+        variable = self._expect(IDENT).value
+        op = self._parse_cmp_op()
+        sign = -1 if self._match(PUNCT, "-") else 1
+        bound = number_value(self._expect(NUMBER)) * sign
+        self._expect(PUNCT, ".")
+        return AssumeDecl(variable, op, bound)
+
+    def _parse_cmp_op(self) -> str:
+        token = self._peek()
+        if token.kind == PUNCT and token.value in _COMPARISON_OPS:
+            return self._advance().value
+        raise ParseError(
+            f"expected comparison operator, found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    def _parse_rule(self) -> Rule:
+        head = self._parse_head()
+        bodies: list[RuleBody] = []
+        if self._match(PUNCT, ":-"):
+            bodies.append(self._parse_body())
+            while self._match(PUNCT, ";"):
+                self._match(PUNCT, ":-")  # the paper writes ``; :- body``
+                bodies.append(self._parse_body())
+        self._expect(PUNCT, ".")
+        return Rule(head, tuple(bodies))
+
+    def _parse_head(self) -> RuleHead:
+        name = self._expect(IDENT).value
+        self._expect(PUNCT, "(")
+        terms: list[Union[AggregateSpec, object]] = [self._parse_headterm()]
+        while self._match(PUNCT, ","):
+            terms.append(self._parse_headterm())
+        self._expect(PUNCT, ")")
+        return RuleHead(name, tuple(terms))
+
+    def _parse_headterm(self):
+        token = self._peek()
+        if (
+            token.kind == IDENT
+            and token.value in BUILTIN_AGGREGATES
+            and self._peek(1).kind == PUNCT
+            and self._peek(1).value == "["
+        ):
+            op = self._advance().value
+            self._expect(PUNCT, "[")
+            variable = self._expect(IDENT).value
+            self._expect(PUNCT, "]")
+            return AggregateSpec(op, variable)
+        return self._parse_term()
+
+    def _parse_term(self):
+        if self._match(PUNCT, "_"):
+            return Wildcard()
+        if self._match(PUNCT, "-"):
+            value = number_value(self._expect(NUMBER))
+            return NumberConstant(-value)
+        token = self._peek()
+        if token.kind == NUMBER:
+            return NumberConstant(number_value(self._advance()))
+        if token.kind == STRING:
+            return SymbolConstant(self._advance().value)
+        if token.kind == IDENT:
+            name = self._advance().value
+            if self._check(PUNCT, "+"):
+                # only ``i+1`` iteration markers are allowed in term position
+                save = self._pos
+                self._advance()
+                one = self._match(NUMBER, "1")
+                if one is not None:
+                    return IterationNext(name)
+                self._pos = save
+            return Variable(name)
+        raise ParseError(
+            f"expected a term, found {token.value!r}", token.line, token.column
+        )
+
+    def _parse_body(self) -> RuleBody:
+        atoms = [self._parse_atom()]
+        while self._match(PUNCT, ","):
+            atoms.append(self._parse_atom())
+        return RuleBody(tuple(atoms))
+
+    def _parse_atom(self):
+        if self._check(PUNCT, "{"):
+            return self._parse_termination()
+        token = self._peek()
+        looks_like_predicate = (
+            token.kind == IDENT
+            and token.value not in KNOWN_FUNCTIONS
+            and self._peek(1).kind == PUNCT
+            and self._peek(1).value == "("
+        )
+        if looks_like_predicate:
+            return self._parse_predicate()
+        return self._parse_comparison()
+
+    def _parse_termination(self) -> TerminationAtom:
+        self._expect(PUNCT, "{")
+        op = self._expect(IDENT).value
+        if op not in BUILTIN_AGGREGATES:
+            token = self._peek()
+            raise ParseError(
+                f"unknown aggregate {op!r} in termination clause",
+                token.line,
+                token.column,
+            )
+        self._expect(PUNCT, "[")
+        variable = self._expect(IDENT).value
+        self._expect(PUNCT, "]")
+        comparison = self._parse_cmp_op()
+        if comparison not in ("<", "<="):
+            raise ParseError("termination clauses must use '<' or '<='")
+        threshold = number_value(self._expect(NUMBER))
+        self._expect(PUNCT, "}")
+        return TerminationAtom(op, variable, comparison, threshold)
+
+    def _parse_predicate(self) -> PredicateAtom:
+        name = self._expect(IDENT).value
+        self._expect(PUNCT, "(")
+        terms = [self._parse_term()]
+        while self._match(PUNCT, ","):
+            terms.append(self._parse_term())
+        self._expect(PUNCT, ")")
+        return PredicateAtom(name, tuple(terms))
+
+    def _parse_comparison(self) -> ComparisonAtom:
+        left = self._parse_expr()
+        op = self._parse_cmp_op()
+        right = self._parse_expr()
+        return ComparisonAtom(left, op, right)
+
+    # -- arithmetic expressions -----------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expr:
+        node = self._parse_multiplicative()
+        while True:
+            if self._match(PUNCT, "+"):
+                node = node + self._parse_multiplicative()
+            elif self._match(PUNCT, "-"):
+                node = node - self._parse_multiplicative()
+            else:
+                return node
+
+    def _parse_multiplicative(self) -> Expr:
+        node = self._parse_unary()
+        while True:
+            if self._match(PUNCT, "*"):
+                node = node * self._parse_unary()
+            elif self._match(PUNCT, "/"):
+                node = node / self._parse_unary()
+            else:
+                return node
+
+    def _parse_unary(self) -> Expr:
+        if self._match(PUNCT, "-"):
+            return -self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == NUMBER:
+            return Const(number_value(self._advance()))
+        if self._match(PUNCT, "("):
+            inner = self._parse_expr()
+            self._expect(PUNCT, ")")
+            return inner
+        if token.kind == IDENT:
+            name = self._advance().value
+            if name in KNOWN_FUNCTIONS:
+                self._expect(PUNCT, "(")
+                args = [self._parse_expr()]
+                while self._match(PUNCT, ","):
+                    args.append(self._parse_expr())
+                self._expect(PUNCT, ")")
+                return Call(name, tuple(args))
+            return Var(name)
+        raise ParseError(
+            f"expected an expression, found {token.value!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse Datalog source text into a :class:`~repro.datalog.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program(name)

@@ -1,0 +1,351 @@
+"""Asynchronous distributed execution (paper section 4, Definition 2).
+
+A deterministic discrete-event simulation: workers process pending
+MonoTable deltas in batches whenever they have work, without barriers;
+updates for remote keys accumulate in per-destination message buffers
+that flush by size (``beta``) or age (``tau``); a master event fires
+every ``termination_interval`` simulated seconds and applies the
+section 5.4 termination check (global fixpoint, or the change of the
+global aggregation result dropping below the program's epsilon).
+
+Because every update flows through the aggregate's ``combine``, any
+interleaving produces the fixpoint of Theorem 3 -- tests check async
+results against the synchronous reference bit-for-bit (min/max) or to
+float tolerance (sum).
+
+Simulated time is the event clock: worker busy time is measured work
+(tuples, message CPU, bandwidth) divided by per-worker speed; message
+delivery is delayed by latency plus payload bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from repro.distributed.buffers import AdaptiveBuffer, BufferPolicy, FixedBuffer
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.sharding import ShardedRun
+from repro.engine.plan import CompiledPlan
+from repro.engine.result import EvalResult
+from repro.engine.termination import TerminationSpec, TerminationTracker
+
+
+class AsyncEngine:
+    """Event-driven asynchronous MRA execution."""
+
+    engine_name = "mra+async"
+
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        cluster: Optional[ClusterConfig] = None,
+        buffer_policy: Optional[BufferPolicy] = None,
+        batch_size: Optional[int] = None,
+        importance_threshold: Optional[float] = None,
+        termination: Optional[TerminationSpec] = None,
+    ):
+        self.plan = plan
+        self.cluster = cluster or ClusterConfig()
+        self.buffer_policy = buffer_policy or BufferPolicy(adaptive=False)
+        #: keys processed per scheduling event.  Small batches mean eager
+        #: (highly asynchronous) processing: a key re-propagates for every
+        #: partial contribution, which multiplies work for additive
+        #: aggregates.  ``None`` sweeps the whole shard per event -- keys
+        #: accumulate all contributions that arrived since the last sweep
+        #: before propagating once, sync-like work without barriers.
+        self.batch_size = batch_size
+        self.importance_threshold = importance_threshold
+        self.termination = termination or plan.termination
+
+    # -- extension hooks --------------------------------------------------------
+    def _make_buffer(self):
+        if self.buffer_policy.adaptive:
+            return AdaptiveBuffer(self.buffer_policy)
+        return FixedBuffer(self.buffer_policy.initial_beta, self.buffer_policy.tau)
+
+    def _batch_limit(self, worker: int) -> Optional[int]:
+        """Per-worker batch size; AAP overrides this dynamically."""
+        return self.batch_size
+
+    def _observe_delivery(self, worker: int, payload_size: int) -> None:
+        """Hook: AAP's mode switching watches in-message volume."""
+
+    def _observe_processing(self, worker: int, processed: int) -> None:
+        """Hook: AAP's mode switching watches own progress."""
+
+    # -- main event loop ----------------------------------------------------------
+    def run(self) -> EvalResult:
+        plan = self.plan
+        cluster = self.cluster
+        cost = cluster.cost
+        num_workers = cluster.num_workers
+        state = ShardedRun(plan, cluster)
+        state.seed_initial_delta()
+        counters = state.counters
+        aggregate = plan.aggregate
+        combine = aggregate.combine
+        owner = state.owner
+        shards = state.shards
+        speeds = state.speeds
+        selective = aggregate.is_idempotent
+
+        buffers = [
+            {target: self._make_buffer() for target in range(num_workers) if target != w}
+            for w in range(num_workers)
+        ]
+        busy_until = [0.0] * num_workers
+        scheduled = [False] * num_workers
+        inflight = 0
+        progress_magnitude = 0.0
+        progress_updates = 0
+
+        heap: list = []
+        sequence = itertools.count()
+
+        def schedule(time: float, kind: str, data=None):
+            heapq.heappush(heap, (time, next(sequence), kind, data))
+
+        def schedule_worker(worker: int, time: float):
+            if not scheduled[worker]:
+                scheduled[worker] = True
+                schedule(max(time, busy_until[worker]), "process", worker)
+
+        for worker in range(num_workers):
+            if shards[worker].has_pending():
+                schedule_worker(worker, worker * 1e-6)
+        schedule(cost.termination_interval, "master", None)
+
+        tracker = TerminationTracker(self.termination)
+        draw_transient = cluster.transient_stream(salt=3)
+        prev_global: Optional[float] = None
+        stop: Optional[str] = None
+        now = 0.0
+        last_activity = 0.0
+
+        def select_batch(worker: int) -> list:
+            """Pick the keys to process this round.
+
+            Selective aggregates process best-first (smallest pending
+            delta for min), a realistic async priority; additive ones use
+            arrival order, deferring deltas below the importance
+            threshold (section 5.4) while any larger one exists.
+            """
+            shard = shards[worker]
+            limit = self._batch_limit(worker)
+            pending = shard.intermediate
+            if selective:
+                keys = sorted(pending, key=pending.get)
+                return keys if limit is None else keys[:limit]
+            if self.importance_threshold is not None:
+                # section 5.4: only important deltas propagate now; the
+                # rest stay cached in the intermediate column, combining
+                # with later arrivals until they matter.
+                important = [
+                    key
+                    for key, value in pending.items()
+                    if aggregate.delta_magnitude(value) >= self.importance_threshold
+                ]
+                return important if limit is None else important[:limit]
+            if limit is None:
+                return list(pending)
+            return list(itertools.islice(pending, limit))
+
+        def flush_ready_buffers(worker: int, time: float) -> float:
+            """Flush every buffer that is full or stale; returns new time."""
+            nonlocal inflight
+            for target, buffer in buffers[worker].items():
+                if buffer.should_flush(time):
+                    payload = buffer.flush(time)
+                    buffer.observe_flush(time)
+                    send_cpu = (
+                        cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
+                    ) / speeds[worker]
+                    time += send_cpu
+                    schedule(time + cost.message_latency, "deliver", (target, payload))
+                    inflight += 1
+                    counters.messages += 1
+                    counters.message_tuples += len(payload)
+            return time
+
+        def schedule_timer_if_buffered(worker: int, time: float) -> None:
+            if any(b.pending for b in buffers[worker].values()):
+                schedule(time + self.buffer_policy.tau, "timer", worker)
+
+        def handle_process(worker: int, time: float) -> None:
+            nonlocal inflight, progress_magnitude, progress_updates
+            scheduled[worker] = False
+            shard = shards[worker]
+            if not shard.has_pending():
+                return
+            batch = select_batch(worker)
+            if not batch:
+                # everything pending is below the importance threshold;
+                # idle until new deliveries make some delta important --
+                # but buffered remote updates must still age out.
+                finish = flush_ready_buffers(worker, time)
+                busy_until[worker] = finish
+                schedule_timer_if_buffered(worker, finish)
+                return
+            ops = 0
+            send_cpu_total = 0.0
+
+            def eager_flush(target, buffer):
+                # real engines flush a full buffer mid-stream: the size
+                # knob beta is exactly the communication frequency the
+                # unified engine adapts (section 5.3)
+                nonlocal inflight, send_cpu_total
+                moment = time + ops * cost.tuple_cost / speeds[worker]
+                payload = buffer.flush(moment)
+                buffer.observe_flush(moment)
+                send_cpu = (
+                    cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
+                ) / speeds[worker]
+                send_cpu_total += send_cpu
+                schedule(
+                    moment + send_cpu + cost.message_latency,
+                    "deliver",
+                    (target, payload),
+                )
+                inflight += 1
+                counters.messages += 1
+                counters.message_tuples += len(payload)
+
+            for key in batch:
+                tmp = shard.fetch_and_reset(key)
+                if tmp is None:
+                    continue
+                did_change, magnitude = shard.accumulate(key, tmp)
+                ops += 1
+                if not did_change:
+                    continue
+                progress_magnitude += magnitude
+                progress_updates += 1
+                counters.updates += 1
+                for dst, params, fn in plan.edges_from(key):
+                    value = fn(tmp, *params)
+                    ops += 1
+                    target = owner[dst]
+                    if target == worker:
+                        shard.push(dst, value)
+                        counters.combines += 1
+                    else:
+                        buffer = buffers[worker][target]
+                        buffer.add(dst, value, combine)
+                        if buffer.pending_count >= buffer.beta:
+                            eager_flush(target, buffer)
+            counters.fprime_applications += ops
+            self._observe_processing(worker, len(batch))
+            compute = (
+                ops * cost.tuple_cost * draw_transient() / speeds[worker]
+                + send_cpu_total
+            )
+            finish = flush_ready_buffers(worker, time + compute)
+
+            busy_until[worker] = finish
+            if shard.has_pending():
+                schedule_worker(worker, finish)
+            else:
+                schedule_timer_if_buffered(worker, finish)
+
+        def handle_deliver(data, time: float) -> None:
+            nonlocal inflight
+            inflight -= 1
+            target, payload = data
+            shard = shards[target]
+            for dst, value in payload.items():
+                shard.push(dst, value)
+                counters.combines += 1
+            self._observe_delivery(target, len(payload))
+            schedule_worker(target, time)
+
+        def handle_timer(worker: int, time: float) -> None:
+            finish = flush_ready_buffers(worker, time)
+            schedule_timer_if_buffered(worker, finish)
+
+        def quiescent() -> bool:
+            if inflight:
+                return False
+            if any(shard.has_pending() for shard in shards):
+                return False
+            return not any(
+                buffer.pending
+                for worker_buffers in buffers
+                for buffer in worker_buffers.values()
+            )
+
+        work_events_since_check = 0
+        while heap and stop is None:
+            now, _, kind, data = heapq.heappop(heap)
+            if kind == "process":
+                handle_process(data, now)
+                last_activity = max(last_activity, busy_until[data])
+                work_events_since_check += 1
+            elif kind == "deliver":
+                handle_deliver(data, now)
+                last_activity = max(last_activity, now)
+                work_events_since_check += 1
+            elif kind == "timer":
+                handle_timer(data, now)
+            elif kind == "master":
+                if quiescent():
+                    counters.iterations += 1
+                    stop = "fixpoint"
+                    break
+                buffered = any(
+                    buffer.pending
+                    for worker_buffers in buffers
+                    for buffer in worker_buffers.values()
+                )
+                # "idle" requires genuinely nothing in flight anywhere:
+                # no messages travelling, no worker scheduled, and no
+                # updates sitting in a send buffer waiting for its timer.
+                all_idle = inflight == 0 and not any(scheduled) and not buffered
+                if progress_updates == 0 and not all_idle:
+                    # workers are mid-burst (or only deliveries landed):
+                    # the accumulation column has not moved since the
+                    # last check, so comparing two identical snapshots
+                    # would fake convergence.  Wait for the clock to
+                    # catch up with the busy workers.
+                    schedule(now + cost.termination_interval, "master", None)
+                    continue
+                counters.iterations += 1
+                tracker.record(progress_updates, progress_magnitude)
+                progress_updates = 0
+                progress_magnitude = 0.0
+                work_events_since_check = 0
+                current_global = state.global_accumulation()
+                epsilon_reached = (
+                    self.termination.epsilon is not None
+                    and prev_global is not None
+                    and self.termination.epsilon_met(abs(current_global - prev_global))
+                )
+                if epsilon_reached or (
+                    all_idle and self.termination.epsilon is not None
+                ):
+                    # either genuine convergence, or only sub-threshold
+                    # deferred residue remains (section 5.4)
+                    stop = "epsilon"
+                    break
+                prev_global = current_global
+                if tracker.iterations >= self.termination.max_iterations:
+                    stop = "iteration-limit"
+                    break
+                schedule(now + cost.termination_interval, "master", None)
+
+        if stop is None:
+            # the heap drained before a master event observed quiescence
+            stop = "fixpoint" if quiescent() else "iteration-limit"
+        # a fixpoint is reached when the last work event finishes, not when
+        # the master's periodic check happens to observe it
+        finished_at = last_activity if stop == "fixpoint" else now
+
+        return EvalResult(
+            values=state.merged_values(),
+            stop_reason=stop,
+            counters=counters,
+            simulated_seconds=finished_at,
+            engine=self.engine_name,
+            trace=tracker.history,
+        )

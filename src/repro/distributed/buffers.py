@@ -1,0 +1,98 @@
+"""Per-destination message buffers with adaptive sizing (paper section 5.3).
+
+Each worker in an N-node cluster keeps N-1 buffers, one per peer.  A
+buffer flushes when it holds ``beta(i,j)`` updates or when ``tau``
+seconds have passed since the last flush.  The adaptive policy implements
+the paper's rule: over a measurement window ``dT`` accumulating ``|B|``
+updates,
+
+* fast pace  (``|B|/dT >  r * beta/tau``)  -> grow ``beta``,
+* slow pace  (``|B|/dT <  beta/(r*tau)``)  -> shrink ``beta``,
+
+with ``beta = alpha * tau * |B|/dT``, ``alpha = 0.8`` and ``r = 2``
+(the paper's fixed damping factor and configurable threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferPolicy:
+    """Parameters of the adaptive buffer rule."""
+
+    initial_beta: float = 64.0
+    tau: float = 5e-3  # flush interval in simulated seconds
+    alpha: float = 0.8  # damping factor (paper: fixed to 0.8)
+    r: float = 2.0  # pace threshold (paper: set to 2)
+    min_beta: float = 4.0
+    max_beta: float = 8192.0
+    adaptive: bool = True
+
+
+class FixedBuffer:
+    """A non-adaptive buffer: flush at ``beta`` updates or ``tau`` elapsed."""
+
+    def __init__(self, beta: float, tau: float):
+        self.beta = beta
+        self.tau = tau
+        self.pending: dict = {}
+        self.pending_count = 0
+        self.last_flush_time = 0.0
+
+    def add(self, key, value, combine) -> None:
+        """Combine an update into the buffer (g-combining duplicates)."""
+        if key in self.pending:
+            self.pending[key] = combine(self.pending[key], value)
+        else:
+            self.pending[key] = value
+            self.pending_count += 1
+
+    def should_flush(self, now: float) -> bool:
+        if not self.pending:
+            return False
+        if self.pending_count >= self.beta:
+            return True
+        return (now - self.last_flush_time) >= self.tau
+
+    def flush(self, now: float) -> dict:
+        payload = self.pending
+        self.pending = {}
+        self.pending_count = 0
+        self.last_flush_time = now
+        return payload
+
+    def observe_flush(self, now: float) -> None:  # pragma: no cover - FixedBuffer no-op
+        """Hook for adaptive subclasses; fixed buffers do nothing."""
+
+
+class AdaptiveBuffer(FixedBuffer):
+    """The paper's adaptive buffer: ``beta`` follows the update pace."""
+
+    def __init__(self, policy: BufferPolicy):
+        super().__init__(policy.initial_beta, policy.tau)
+        self.policy = policy
+        self._window_start = 0.0
+        self._window_updates = 0
+
+    def add(self, key, value, combine) -> None:
+        super().add(key, value, combine)
+        self._window_updates += 1
+
+    def observe_flush(self, now: float) -> None:
+        """Adapt ``beta`` from the pace observed since the last window."""
+        if not self.policy.adaptive:
+            return
+        window = now - self._window_start
+        if window <= 0:
+            return
+        pace = self._window_updates / window  # |B| / dT
+        threshold = self.beta / self.policy.tau  # beta / tau
+        if pace > self.policy.r * threshold or pace < threshold / self.policy.r:
+            new_beta = self.policy.alpha * self.policy.tau * pace
+            self.beta = min(
+                self.policy.max_beta, max(self.policy.min_beta, new_beta)
+            )
+        self._window_start = now
+        self._window_updates = 0

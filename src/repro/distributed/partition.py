@@ -1,0 +1,51 @@
+"""Key partitioning across workers.
+
+Python's built-in ``hash`` is salted per process, so a dedicated stable
+hash keeps partitioning -- and therefore every simulated run --
+deterministic across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+
+def stable_hash(key) -> int:
+    """A process-independent hash for ints, floats, strings and tuples."""
+    if isinstance(key, int):
+        # splitmix-style mixing so consecutive vertex ids spread out
+        h = (key ^ (key >> 16)) * 0x45D9F3B
+        h = (h ^ (h >> 16)) * 0x45D9F3B
+        return (h ^ (h >> 16)) & 0x7FFFFFFF
+    if isinstance(key, tuple):
+        h = 0x811C9DC5
+        for part in key:
+            h = (h * 0x01000193) ^ stable_hash(part)
+        return h & 0x7FFFFFFF
+    return zlib.crc32(repr(key).encode("utf-8")) & 0x7FFFFFFF
+
+
+class HashPartitioner:
+    """Assign keys to workers by stable hash."""
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+
+    def owner(self, key) -> int:
+        return stable_hash(key) % self.num_workers
+
+    def split(self, keys: Iterable) -> list[list]:
+        """Partition a key collection into per-worker lists."""
+        shards: list[list] = [[] for _ in range(self.num_workers)]
+        for key in keys:
+            shards[self.owner(key)].append(key)
+        return shards
+
+    def imbalance(self, keys: Iterable) -> float:
+        """max/mean shard size: 1.0 is perfectly balanced."""
+        sizes = [len(s) for s in self.split(keys)]
+        mean = sum(sizes) / len(sizes) if sizes else 0
+        return (max(sizes) / mean) if mean else 0.0

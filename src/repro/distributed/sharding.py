@@ -1,0 +1,85 @@
+"""Shared sharding scaffolding for the distributed engines.
+
+A :class:`ShardedRun` owns the per-worker MonoTable shards, the
+partition map, and the seeded initial deltas; every engine (sync, async,
+unified, AAP) starts from one.
+"""
+
+from __future__ import annotations
+
+
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.partition import HashPartitioner
+from repro.engine.monotable import MonoTable
+from repro.engine.mra import compute_initial_delta
+from repro.engine.plan import CompiledPlan
+from repro.engine.result import WorkCounters
+
+
+class ShardedRun:
+    """Plan state partitioned across the simulated workers."""
+
+    def __init__(self, plan: CompiledPlan, cluster: ClusterConfig):
+        self.plan = plan
+        self.cluster = cluster
+        self.partitioner = HashPartitioner(cluster.num_workers)
+        self.owner: dict = {
+            key: self.partitioner.owner(key) for key in plan.keys
+        }
+        self.speeds = cluster.worker_speeds()
+        self.counters = WorkCounters()
+
+        aggregate = plan.aggregate
+        self.shards: list[MonoTable] = []
+        shard_keys: list[set] = [set() for _ in range(cluster.num_workers)]
+        for key, worker in self.owner.items():
+            shard_keys[worker].add(key)
+        for worker in range(cluster.num_workers):
+            self.shards.append(
+                MonoTable(aggregate, plan.initial, keys=shard_keys[worker])
+            )
+        self.shard_keys = shard_keys
+
+    def seed_initial_delta(self) -> None:
+        """Distribute ``ΔX¹`` (section 3.3) to its owners' shards."""
+        for key, value in compute_initial_delta(self.plan).items():
+            self.shards[self.owner[key]].push(key, value)
+
+    def merged_values(self) -> dict:
+        merged: dict = {}
+        for shard in self.shards:
+            merged.update(shard.result())
+        return merged
+
+    def total_pending(self) -> int:
+        return sum(len(shard.intermediate) for shard in self.shards)
+
+    def checkpoint(self, checkpointer, run_name: str) -> None:
+        """Persist every shard (paper Figure 6: checkpoint intermediates)."""
+        for shard_id, shard in enumerate(self.shards):
+            checkpointer.save_shard(run_name, shard_id, shard)
+
+    def restore(self, checkpointer, run_name: str) -> bool:
+        """Reload every shard from a checkpoint; False when none exists."""
+        if not all(
+            checkpointer.has_checkpoint(run_name, shard_id)
+            for shard_id in range(len(self.shards))
+        ):
+            return False
+        for shard_id, shard in enumerate(self.shards):
+            checkpointer.restore_shard(run_name, shard_id, shard)
+        return True
+
+    def global_accumulation(self) -> float:
+        """Master-side global aggregate of the accumulation column.
+
+        The paper's termination check (section 5.4) compares consecutive
+        global aggregation results; summing |value| works for both
+        additive and selective aggregates.
+        """
+        total = 0.0
+        for shard in self.shards:
+            for value in shard.accumulated.values():
+                if value is not None:
+                    total += abs(float(value))
+        return total

@@ -1,0 +1,78 @@
+"""Shared helpers for the relational evaluators."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog import ProgramAnalysis
+from repro.engine.relation import Database, Relation
+from repro.engine.result import WorkCounters
+from repro.engine.rules import aggregate_contributions, evaluate_rule_bodies
+
+
+def recursive_rule(analysis: ProgramAnalysis):
+    """The (single) recursive rule of the analysed program."""
+    return next(
+        r for r in analysis.program.rules_for(analysis.head) if r.is_recursive()
+    )
+
+
+def static_contributions(
+    analysis: ProgramAnalysis,
+    db: Database,
+    counters: Optional[WorkCounters] = None,
+    iterated_predicate: Optional[str] = None,
+) -> list[tuple]:
+    """Base-rule and constant-body (``C``) contributions.
+
+    These do not depend on ``X^{k-1}``; naive evaluation recomputes them
+    every iteration (and pays for it), semi-naive folds them once.
+    """
+    contributions: list[tuple] = []
+    for rule in analysis.base_rules:
+        contributions.extend(
+            evaluate_rule_bodies(
+                rule,
+                db,
+                counters=counters,
+                iterated_predicate=iterated_predicate,
+            )
+        )
+    if analysis.constant_bodies:
+        contributions.extend(
+            evaluate_rule_bodies(
+                recursive_rule(analysis),
+                db,
+                bodies=analysis.constant_bodies,
+                counters=counters,
+                iterated_predicate=iterated_predicate,
+            )
+        )
+    return contributions
+
+
+def initial_values(
+    analysis: ProgramAnalysis,
+    db: Database,
+    counters: Optional[WorkCounters] = None,
+    iterated_predicate: Optional[str] = None,
+) -> dict:
+    """``X⁰``: the base rules' contributions, aggregated with ``G``."""
+    contributions: list[tuple] = []
+    for rule in analysis.base_rules:
+        contributions.extend(
+            evaluate_rule_bodies(
+                rule, db, counters=counters, iterated_predicate=iterated_predicate
+            )
+        )
+    return aggregate_contributions(analysis.aggregate, contributions)
+
+
+def values_as_relation(analysis: ProgramAnalysis, values: dict) -> Relation:
+    """Materialise a key->value mapping as the recursive predicate."""
+    key_arity = len(analysis.recursion.source_keys)
+    relation = Relation(analysis.head, key_arity + 1)
+    for key, value in values.items():
+        key_tuple = key if isinstance(key, tuple) else (key,)
+        relation.add(key_tuple + (value,))
+    return relation

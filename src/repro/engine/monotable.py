@@ -1,0 +1,113 @@
+"""The MonoTable data structure (paper Figure 7, section 5.2).
+
+Each key row holds an **accumulation** entry ``x`` (the running aggregate
+result) and an **intermediate** entry ``g(Δx)`` (pending deltas already
+combined with ``g``).  The three-step update of Figure 7 is:
+
+1. fetch the intermediate entry into a local ``tmp`` and combine it into
+   the accumulation entry (:meth:`fetch_and_reset` + :meth:`accumulate`);
+2. reset the intermediate entry to the identity element so a delta is
+   never aggregated twice (done atomically inside
+   :meth:`fetch_and_reset`);
+3. apply ``f`` to ``tmp`` and combine the result into intermediate
+   entries of dependent rows (:meth:`push`) -- the cross-row step that
+   needs communication when rows live on other workers.
+
+For idempotent (min/max) aggregates, a fetched ``tmp`` that does not
+improve the accumulation entry is dropped without propagation; for
+additive aggregates every non-identity ``tmp`` propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.aggregates import Aggregate
+
+
+class MonoTable:
+    """A (shard of a) MonoTable for one compiled plan."""
+
+    def __init__(self, aggregate: Aggregate, initial: dict, keys: Optional[Iterable] = None):
+        self.aggregate = aggregate
+        if keys is None:
+            self.accumulated: dict = dict(initial)
+        else:
+            keyset = set(keys)
+            self.accumulated = {
+                key: value for key, value in initial.items() if key in keyset
+            }
+        self.intermediate: dict = {}
+
+    # -- step 3 of Figure 7 (receiving side) ------------------------------------
+    def push(self, key, value) -> None:
+        """Combine a delta into a row's intermediate entry."""
+        current = self.intermediate.get(key)
+        if current is None:
+            self.intermediate[key] = value
+        else:
+            self.intermediate[key] = self.aggregate.combine(current, value)
+
+    def push_many(self, deltas: Iterable[tuple]) -> None:
+        for key, value in deltas:
+            self.push(key, value)
+
+    # -- steps 1 and 2 of Figure 7 ------------------------------------------------
+    def fetch_and_reset(self, key):
+        """Atomically take a row's intermediate entry (identity afterwards)."""
+        return self.intermediate.pop(key, None)
+
+    def drain_all(self) -> dict:
+        """Atomically take *all* pending intermediate entries.
+
+        The synchronous engines use this to realise strict rounds: every
+        delta of round ``k`` is fetched before any propagation of round
+        ``k`` lands in the table.
+        """
+        drained = self.intermediate
+        self.intermediate = {}
+        return drained
+
+    def accumulate(self, key, tmp) -> tuple[bool, float]:
+        """Combine ``tmp`` into the accumulation entry.
+
+        Returns ``(changed, delta_magnitude)``; for idempotent aggregates
+        ``changed`` being False tells the caller to skip propagation.
+        """
+        old = self.accumulated.get(key)
+        if old is None:
+            self.accumulated[key] = tmp
+            return True, self.aggregate.delta_magnitude(tmp)
+        new = self.aggregate.combine(old, tmp)
+        if new == old:
+            return False, 0.0
+        self.accumulated[key] = new
+        if self.aggregate.is_idempotent:
+            return True, abs(new - old)
+        return True, self.aggregate.delta_magnitude(tmp)
+
+    # -- inspection ------------------------------------------------------------
+    def pending_keys(self) -> list:
+        """Keys whose intermediate entry is non-identity."""
+        return list(self.intermediate)
+
+    def has_pending(self) -> bool:
+        return bool(self.intermediate)
+
+    def pending_magnitude(self) -> float:
+        """Total magnitude of pending deltas (termination reporting)."""
+        return sum(
+            self.aggregate.delta_magnitude(v) for v in self.intermediate.values()
+        )
+
+    def result(self) -> dict:
+        return dict(self.accumulated)
+
+    def __len__(self):
+        return len(self.accumulated)
+
+    def __repr__(self):
+        return (
+            f"MonoTable({self.aggregate.name}: {len(self.accumulated)} rows, "
+            f"{len(self.intermediate)} pending)"
+        )

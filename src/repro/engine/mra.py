@@ -1,0 +1,99 @@
+"""MRA evaluation (paper Eq. 4) on a single-node MonoTable.
+
+``ΔX^k = G ∘ F'(ΔX^{k-1})`` and ``X^k = G(X^{k-1} ∪ ΔX^k)``: deltas are
+computed from deltas; the accumulated result is only ever *combined
+with*, never recomputed.  The start point ``ΔX¹`` is determined
+automatically via the aggregate's inverse ``G⁻`` (section 3.3):
+one naive step produces ``X¹`` and ``ΔX¹ = G⁻(X¹, X⁰)``.
+
+This evaluator processes rounds synchronously (all pending deltas of a
+round before any of the next); it is the single-node reference that the
+distributed sync/async/unified engines are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.monotable import MonoTable
+from repro.engine.plan import CompiledPlan
+from repro.engine.result import EvalResult, WorkCounters
+from repro.engine.termination import TerminationSpec, TerminationTracker
+
+
+def compute_initial_delta(plan: CompiledPlan) -> dict:
+    """Determine ``ΔX¹`` such that ``X¹ = G(ΔX¹ ∪ X⁰)`` (section 3.3).
+
+    One naive step computes ``X¹ = G(X⁰ ∪ C ∪ F'(X⁰))`` and the
+    aggregate's predefined inverse ``G⁻`` extracts the delta
+    (``min``: keep the new value when it improves; ``sum``: pairwise
+    subtraction).
+    """
+    aggregate = plan.aggregate
+    combine = aggregate.combine
+    x1: dict = dict(plan.initial)
+
+    def merge(key, value):
+        old = x1.get(key)
+        x1[key] = value if old is None else combine(old, value)
+
+    for key, value in plan.constants.items():
+        merge(key, value)
+    for src, value in plan.initial.items():
+        for dst, params, fn in plan.edges_from(src):
+            merge(dst, fn(value, *params))
+
+    delta: dict = {}
+    for key, value in x1.items():
+        d = aggregate.subtract(value, plan.initial.get(key))
+        if d is not None:
+            delta[key] = d
+    return delta
+
+
+class MRAEvaluator:
+    """Single-node synchronous MRA evaluation over a compiled plan."""
+
+    engine_name = "mra"
+
+    def __init__(self, plan: CompiledPlan, termination: Optional[TerminationSpec] = None):
+        self.plan = plan
+        self.termination = termination or plan.termination
+        self.counters = WorkCounters()
+
+    def run(self) -> EvalResult:
+        plan = self.plan
+        aggregate = plan.aggregate
+        table = MonoTable(aggregate, plan.initial)
+        table.push_many(compute_initial_delta(plan).items())
+
+        tracker = TerminationTracker(self.termination)
+        stop = None
+        while stop is None:
+            round_deltas = table.drain_all()
+            changed = 0
+            total_delta = 0.0
+            for key, tmp in round_deltas.items():
+                did_change, magnitude = table.accumulate(key, tmp)
+                self.counters.combines += 1
+                if not did_change:
+                    continue  # idempotent aggregate: nothing improved
+                changed += 1
+                total_delta += magnitude
+                self.counters.updates += 1
+                edges = plan.edges_from(key)
+                self.counters.fprime_applications += len(edges)
+                for dst, params, fn in edges:
+                    table.push(dst, fn(tmp, *params))
+                    self.counters.combines += 1
+            self.counters.iterations += 1
+            tracker.record(changed, total_delta)
+            stop = tracker.stop_reason()
+
+        return EvalResult(
+            values=table.result(),
+            stop_reason=stop,
+            counters=self.counters,
+            engine=self.engine_name,
+            trace=tracker.history,
+        )

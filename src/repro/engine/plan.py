@@ -1,0 +1,196 @@
+"""Compilation of analysed programs into vertex-centric plans.
+
+The MRA and distributed engines do not re-join auxiliary predicates on
+every update.  Instead, the recursive body's joins are evaluated *once*
+at compile time and folded into per-edge parameter tuples -- exactly the
+"Auxiliaries" columns of the paper's MonoTable (Figure 7), which "store
+the joined results of non-recursive predicates in the recursive rule
+body and other constant values of each tuple".
+
+A :class:`CompiledPlan` is therefore a dependency graph over keys:
+``out_edges[src]`` lists ``(dst, params)`` pairs, and
+``fprime_fn(x, *params)`` computes the contribution ``F'`` sends from
+``src`` to ``dst``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.datalog import ProgramAnalysis
+from repro.engine.common import recursive_rule
+from repro.engine.relation import Database
+from repro.engine.result import WorkCounters
+from repro.engine.rules import (
+    aggregate_contributions,
+    evaluate_aux_rules,
+    evaluate_rule_bodies,
+    iter_bindings,
+)
+from repro.engine.termination import TerminationSpec
+from repro.expr import compile_fn
+
+
+@dataclass
+class CompiledPlan:
+    """A recursive aggregate program compiled to vertex-centric form."""
+
+    name: str
+    analysis: ProgramAnalysis
+    #: every key that can ever hold a value
+    keys: frozenset
+    #: dependency edges: src key -> [(dst key, params tuple, fn), ...]
+    #: where ``fn(x, *params)`` is the compiled ``F'`` of the recursive
+    #: body that produced the edge (Program-2.b rules have several)
+    out_edges: dict
+    #: one compiled ``F'`` per recursive body, primary first
+    fprime_fns: tuple[Callable, ...]
+    param_names: tuple[str, ...]
+    #: ``X⁰`` from the base rules
+    initial: dict
+    #: per-key constant contributions ``C`` (one application's worth)
+    constants: dict
+    termination: TerminationSpec
+
+    @property
+    def aggregate(self):
+        return self.analysis.aggregate
+
+    @property
+    def fprime_fn(self) -> Callable:
+        """The primary body's compiled ``F'`` (convenience accessor)."""
+        return self.fprime_fns[0]
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self.out_edges.values())
+
+    def edges_from(self, key) -> list:
+        return self.out_edges.get(key, ())
+
+    def __repr__(self):
+        return (
+            f"CompiledPlan({self.name}: {len(self.keys)} keys, "
+            f"{self.num_edges} edges, aggregate={self.aggregate.name})"
+        )
+
+
+def _scalar(values: tuple):
+    return values[0] if len(values) == 1 else values
+
+
+def compile_plan(
+    analysis: ProgramAnalysis,
+    db: Database,
+    termination: Optional[TerminationSpec] = None,
+    counters: Optional[WorkCounters] = None,
+) -> CompiledPlan:
+    """Compile an analysed program against a database of EDB facts."""
+    counters = counters if counters is not None else WorkCounters()
+    work_db = db.copy()
+    evaluate_aux_rules(analysis, work_db, counters=counters)
+    iterated = analysis.head if analysis.iterated else None
+    rec_rule = recursive_rule(analysis)
+
+    initial: dict = {}
+    for rule in analysis.base_rules:
+        contributions = evaluate_rule_bodies(
+            rule, work_db, counters=counters, iterated_predicate=iterated
+        )
+        for key, value in contributions:
+            if key in initial:
+                initial[key] = analysis.aggregate.combine(initial[key], value)
+            else:
+                initial[key] = value
+
+    constants: dict = {}
+    if analysis.constant_bodies:
+        contributions = evaluate_rule_bodies(
+            rec_rule,
+            work_db,
+            bodies=analysis.constant_bodies,
+            counters=counters,
+            iterated_predicate=iterated,
+        )
+        constants = aggregate_contributions(analysis.aggregate, contributions)
+
+    out_edges: dict = {}
+    keys: set = set(initial) | set(constants)
+    fprime_fns = []
+    for spec in analysis.recursions:
+        recursion_var = spec.recursion_var
+        param_names = spec.fprime_params
+        fn = compile_fn(spec.fprime, (recursion_var, *param_names))
+        fprime_fns.append(fn)
+        # Comparisons participating in F' (the definition chain of the
+        # head variable) mention the recursion variable and are excluded
+        # from the compile-time join; pure filters/assignments over join
+        # variables stay.
+        join_comparisons = [
+            comparison
+            for comparison in spec.comparisons
+            if recursion_var not in comparison.left.free_vars()
+            and recursion_var not in comparison.right.free_vars()
+        ]
+
+        # Key variables shared between the recursive atom and the head
+        # but not bound by any join atom are *broadcast* dimensions
+        # (e.g. the source column S of APSP:
+        # ``apsp(S,Y,...) :- apsp(S,X,...), edge(X,Y,...)``).  The edge
+        # pattern applies for every value of such a variable; we expand
+        # it over the values observed in X⁰ and C.
+        join_bound: set[str] = set()
+        for atom in spec.join_atoms:
+            join_bound.update(atom.variables())
+        broadcast = [
+            name
+            for name in spec.source_keys
+            if name in analysis.key_vars and name not in join_bound
+        ]
+        broadcast_values: dict[str, set] = {name: set() for name in broadcast}
+        if broadcast:
+            for key in set(initial) | set(constants):
+                key_tuple = key if isinstance(key, tuple) else (key,)
+                for name in broadcast:
+                    position = spec.source_keys.index(name)
+                    broadcast_values[name].add(key_tuple[position])
+
+        def emit(binding: dict, spec=spec, fn=fn, param_names=param_names) -> None:
+            src = _scalar(tuple(binding[name] for name in spec.source_keys))
+            dst = _scalar(tuple(binding[name] for name in analysis.key_vars))
+            params = tuple(binding[name] for name in param_names)
+            out_edges.setdefault(src, []).append((dst, params, fn))
+            keys.add(src)
+            keys.add(dst)
+
+        for binding in iter_bindings(
+            list(spec.join_atoms) + join_comparisons,
+            work_db,
+            counters=counters,
+            iterated_predicate=iterated,
+        ):
+            if not broadcast:
+                emit(binding)
+                continue
+            expansions = [binding]
+            for name in broadcast:
+                expansions = [
+                    {**b, name: value}
+                    for b in expansions
+                    for value in sorted(broadcast_values[name])
+                ]
+            for expanded in expansions:
+                emit(expanded)
+
+    return CompiledPlan(
+        name=analysis.program.name,
+        analysis=analysis,
+        keys=frozenset(keys),
+        out_edges=out_edges,
+        fprime_fns=tuple(fprime_fns),
+        param_names=analysis.fprime_params,
+        initial=initial,
+        constants=constants,
+        termination=termination or TerminationSpec.from_analysis(analysis),
+    )

@@ -1,0 +1,81 @@
+"""Two-level termination control (paper sections 2.2 and 3.1).
+
+Level 1 (program): fixpoint detection for finite-lattice programs, or a
+user-specified ``{sum[delta] < eps}`` clause for limit programs such as
+PageRank.  Level 2 (system): a hard iteration cap so that a diverging
+program always stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: system-level default iteration cap (paper: "a termination number of
+#: iterations at the system level").
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class TerminationSpec:
+    """Termination criteria for one program run."""
+
+    #: user-level epsilon from a ``{sum[d] < eps}`` clause; ``None`` means
+    #: pure fixpoint termination.
+    epsilon: Optional[float] = None
+    #: "<" or "<=" from the clause
+    comparison: str = "<"
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+
+    @staticmethod
+    def from_analysis(analysis, max_iterations: int = DEFAULT_MAX_ITERATIONS):
+        """Build the spec from an analysed program's termination clause."""
+        clause = analysis.termination
+        if clause is None:
+            return TerminationSpec(max_iterations=max_iterations)
+        return TerminationSpec(
+            epsilon=float(clause.threshold),
+            comparison=clause.comparison,
+            max_iterations=max_iterations,
+        )
+
+    def epsilon_met(self, total_delta: float) -> bool:
+        if self.epsilon is None:
+            return False
+        if self.comparison == "<":
+            return total_delta < self.epsilon
+        return total_delta <= self.epsilon
+
+
+class TerminationTracker:
+    """Per-run tracker deciding when evaluation stops.
+
+    Engines feed it, once per iteration (or per master check in the
+    distributed engines), the number of changed keys and the total delta
+    magnitude; :meth:`stop_reason` answers why (or whether) to stop.
+    """
+
+    def __init__(self, spec: TerminationSpec):
+        self.spec = spec
+        self.iterations = 0
+        self.last_changed = None
+        self.last_delta = None
+        #: convergence trace: one (changed_keys, total_delta) per round,
+        #: surfaced as ``EvalResult.trace`` for convergence analysis
+        self.history: list[tuple[int, float]] = []
+
+    def record(self, changed_keys: int, total_delta: float) -> None:
+        self.iterations += 1
+        self.last_changed = changed_keys
+        self.last_delta = total_delta
+        self.history.append((changed_keys, total_delta))
+
+    def stop_reason(self) -> Optional[str]:
+        """``None`` to continue, otherwise why evaluation stops."""
+        if self.last_changed == 0:
+            return "fixpoint"
+        if self.last_delta is not None and self.spec.epsilon_met(self.last_delta):
+            return "epsilon"
+        if self.iterations >= self.spec.max_iterations:
+            return "iteration-limit"
+        return None

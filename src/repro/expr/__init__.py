@@ -1,0 +1,74 @@
+"""Symbolic expression algebra for recursive aggregate programs.
+
+This package implements the small expression language in which the
+non-aggregate operation ``F'`` of a recursive aggregate program is written
+(paper section 2.1): rational arithmetic over variables and parameters plus
+a handful of non-linear primitives (``relu``, ``tanh``, ``abs``, ``exp``)
+needed for the two programs that *fail* the MRA condition check
+(GCN-Forward and CommNet, Table 1).
+
+The algebra offers three capabilities, each in its own module:
+
+* :mod:`repro.expr.terms` -- immutable expression trees with structural
+  equality, substitution and pretty printing;
+* :mod:`repro.expr.evaluate` -- exact (``fractions.Fraction``) and float
+  evaluation, and compilation of expressions into fast Python callables;
+* :mod:`repro.expr.simplify` -- canonicalisation to rational normal form
+  (a pair of multivariate polynomials) used by the condition checker for
+  exact algebraic equality proofs;
+* :mod:`repro.expr.analysis` -- linearity, sign and monotonicity analysis
+  under declared variable domains.
+"""
+
+from repro.expr.terms import (
+    Expr,
+    Const,
+    Var,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Call,
+    KNOWN_FUNCTIONS,
+    const,
+    var,
+)
+from repro.expr.evaluate import evaluate, compile_fn, EvalError
+from repro.expr.simplify import Polynomial, RationalForm, rational_form, exprs_equal
+from repro.expr.analysis import (
+    Interval,
+    Sign,
+    affine_in,
+    interval_of,
+    is_linear_homogeneous,
+    is_monotone_nondecreasing,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Neg",
+    "Call",
+    "KNOWN_FUNCTIONS",
+    "const",
+    "var",
+    "evaluate",
+    "compile_fn",
+    "EvalError",
+    "Polynomial",
+    "RationalForm",
+    "rational_form",
+    "exprs_equal",
+    "Interval",
+    "Sign",
+    "affine_in",
+    "interval_of",
+    "is_linear_homogeneous",
+    "is_monotone_nondecreasing",
+]

@@ -1,0 +1,327 @@
+"""Linearity, sign and monotonicity analysis of expressions.
+
+These analyses power the *structural prover* of the condition checker:
+
+* ``sum``/``count`` programs satisfy Property 2 of Theorem 1 exactly when
+  ``F'`` is linear and homogeneous in the recursion variable
+  (``f(x + y) = f(x) + f(y)``) -- decided by :func:`is_linear_homogeneous`;
+* ``min``/``max`` programs satisfy Property 2 exactly when ``F'`` is
+  monotone non-decreasing in the recursion variable
+  (``f(min(x, y)) = min(f(x), f(y))``) -- decided by
+  :func:`is_monotone_nondecreasing` under the program's declared parameter
+  domains (e.g. ``assume d > 0`` in the paper's Figure 4).
+
+All positive answers are proofs; a negative answer means "could not
+prove", and the checker falls back to counterexample search.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.expr.simplify import (
+    NonRationalError,
+    Polynomial,
+    RationalForm,
+    rational_form,
+)
+from repro.expr.terms import Add, Call, Const, Div, Expr, Mul, Neg, Sub, Var
+
+
+class Sign(enum.Enum):
+    """Coarse sign classification derived from an interval."""
+
+    POSITIVE = "positive"
+    NONNEGATIVE = "nonnegative"
+    NEGATIVE = "negative"
+    NONPOSITIVE = "nonpositive"
+    ZERO = "zero"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A real interval with optionally strict bounds.
+
+    ``lo``/``hi`` may be ``-inf``/``inf``.  ``lo_strict`` records that the
+    lower bound is excluded, which matters for division: ``d > 0`` makes
+    ``1/d`` well defined even though ``lo == 0``.
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_strict: bool = False
+    hi_strict: bool = False
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- classification ------------------------------------------------------
+    def sign(self) -> Sign:
+        if self.lo == self.hi == 0:
+            return Sign.ZERO
+        if self.lo > 0 or (self.lo == 0 and self.lo_strict):
+            return Sign.POSITIVE
+        if self.lo >= 0:
+            return Sign.NONNEGATIVE
+        if self.hi < 0 or (self.hi == 0 and self.hi_strict):
+            return Sign.NEGATIVE
+        if self.hi <= 0:
+            return Sign.NONPOSITIVE
+        return Sign.UNKNOWN
+
+    def is_nonnegative(self) -> bool:
+        return self.sign() in (Sign.POSITIVE, Sign.NONNEGATIVE, Sign.ZERO)
+
+    def is_nonpositive(self) -> bool:
+        return self.sign() in (Sign.NEGATIVE, Sign.NONPOSITIVE, Sign.ZERO)
+
+    def excludes_zero(self) -> bool:
+        return self.sign() in (Sign.POSITIVE, Sign.NEGATIVE)
+
+    # -- arithmetic ------------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(
+            self.lo + other.lo,
+            self.hi + other.hi,
+            self.lo_strict or other.lo_strict,
+            self.hi_strict or other.hi_strict,
+        )
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo, self.hi_strict, self.lo_strict)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        candidates = [
+            _mul_bound(self.lo, other.lo),
+            _mul_bound(self.lo, other.hi),
+            _mul_bound(self.hi, other.lo),
+            _mul_bound(self.hi, other.hi),
+        ]
+        # Strictness is conservatively dropped on multiplication.
+        return Interval(min(candidates), max(candidates))
+
+    def __truediv__(self, other: "Interval") -> "Interval":
+        if not other.excludes_zero():
+            raise ZeroDivisionError("divisor interval may contain zero")
+        inv_lo = 1.0 / other.hi if math.isfinite(other.hi) else 0.0
+        inv_hi = 1.0 / other.lo if other.lo != 0 else math.inf
+        if other.lo == 0:  # strictly positive divisor approaching zero
+            inv_hi = math.inf
+        inverse = Interval(min(inv_lo, inv_hi), max(inv_lo, inv_hi))
+        return self * inverse
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def nonnegative() -> "Interval":
+        return Interval(0.0, math.inf)
+
+    @staticmethod
+    def positive() -> "Interval":
+        return Interval(0.0, math.inf, lo_strict=True)
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        return Interval()
+
+
+def _mul_bound(a: float, b: float) -> float:
+    # IEEE makes 0 * inf = nan; in interval arithmetic it is 0.
+    if (a == 0 and math.isinf(b)) or (b == 0 and math.isinf(a)):
+        return 0.0
+    return a * b
+
+
+_CALL_RANGES = {
+    "relu": lambda arg: Interval(max(0.0, arg.lo), max(0.0, arg.hi)),
+    "abs": lambda arg: _abs_interval(arg),
+    "tanh": lambda arg: Interval(math.tanh(arg.lo), math.tanh(arg.hi)),
+    "exp": lambda arg: Interval(
+        math.exp(arg.lo) if math.isfinite(arg.lo) else 0.0,
+        math.exp(arg.hi) if math.isfinite(arg.hi) else math.inf,
+    ),
+    "sigmoid": lambda arg: Interval(0.0, 1.0),
+    "log": lambda arg: Interval.unbounded(),
+}
+
+
+def _abs_interval(arg: Interval) -> Interval:
+    if arg.lo >= 0:
+        return arg
+    if arg.hi <= 0:
+        return -arg
+    return Interval(0.0, max(-arg.lo, arg.hi))
+
+
+def interval_of(expr: Expr, domains: Mapping[str, Interval]) -> Interval:
+    """Bound the value of ``expr`` given variable domains.
+
+    Unknown variables default to the full real line.
+    """
+    if isinstance(expr, Const):
+        return Interval.point(float(expr.value))
+    if isinstance(expr, Var):
+        return domains.get(expr.name, Interval.unbounded())
+    if isinstance(expr, Add):
+        return interval_of(expr.left, domains) + interval_of(expr.right, domains)
+    if isinstance(expr, Sub):
+        return interval_of(expr.left, domains) - interval_of(expr.right, domains)
+    if isinstance(expr, Mul):
+        return interval_of(expr.left, domains) * interval_of(expr.right, domains)
+    if isinstance(expr, Div):
+        return interval_of(expr.left, domains) / interval_of(expr.right, domains)
+    if isinstance(expr, Neg):
+        return -interval_of(expr.operand, domains)
+    if isinstance(expr, Call):
+        arg = interval_of(expr.args[0], domains)
+        return _CALL_RANGES[expr.func](arg)
+    raise TypeError(f"cannot bound node {expr!r}")
+
+
+def affine_in(expr: Expr, name: str) -> Optional[tuple[RationalForm, RationalForm]]:
+    """Decompose ``expr`` as ``a * name + b`` as rational functions.
+
+    Returns ``(a, b)`` or ``None`` when the expression is not affine in
+    ``name`` (higher degree, the variable in a denominator, or hidden
+    inside an opaque call).
+    """
+    if _mentioned_inside_call(expr, name):
+        return None
+    try:
+        form = rational_form(expr)
+    except NonRationalError:
+        return None
+    if form.den.mentions(name):
+        return None
+    if form.num.degree_in(name) > 1:
+        return None
+    a = RationalForm(form.num.coefficient_of(name, 1), form.den)
+    b = RationalForm(form.num.coefficient_of(name, 0), form.den)
+    return a, b
+
+
+def _mentioned_inside_call(expr: Expr, name: str) -> bool:
+    if isinstance(expr, Call):
+        return any(name in a.free_vars() for a in expr.args)
+    return any(_mentioned_inside_call(c, name) for c in expr.children())
+
+
+def is_linear_homogeneous(expr: Expr, name: str) -> bool:
+    """True iff ``expr == a * name`` exactly (zero constant part).
+
+    This is the additivity condition ``f(x + y) = f(x) + f(y)`` required
+    by Property 2 for ``sum``-like aggregates.
+    """
+    decomposed = affine_in(expr, name)
+    if decomposed is None:
+        return False
+    _, b = decomposed
+    return b.num.is_zero()
+
+
+def _interval_of_polynomial(
+    poly: Polynomial, domains: Mapping[str, Interval]
+) -> Optional[Interval]:
+    total = Interval.point(0.0)
+    for monomial, coeff in poly.coeffs:
+        term = Interval.point(float(coeff))
+        for atom_key, power in monomial:
+            if atom_key not in domains and "(" in atom_key:
+                return None  # opaque call atom with unknown range
+            base = domains.get(atom_key, Interval.unbounded())
+            for _ in range(power):
+                term = term * base
+        total = total + term
+    return total
+
+
+def interval_of_rational(
+    form: RationalForm, domains: Mapping[str, Interval]
+) -> Optional[Interval]:
+    """Bound a rational form; ``None`` when opaque atoms block the bound."""
+    num = _interval_of_polynomial(form.num, domains)
+    den = _interval_of_polynomial(form.den, domains)
+    if num is None or den is None:
+        return None
+    try:
+        return num / den
+    except ZeroDivisionError:
+        return None
+
+
+def is_monotone_nondecreasing(
+    expr: Expr, name: str, domains: Mapping[str, Interval]
+) -> bool:
+    """Prove that ``expr`` is monotone non-decreasing in ``name``.
+
+    The proof is structural: constants are flat, sums preserve direction,
+    multiplication/division by sign-definite factors preserves or flips
+    it, and monotone primitives (``relu``, ``tanh``, ``exp``) compose.
+    A ``False`` answer means "not proved", not "not monotone".
+    """
+    return _monotone(expr, name, domains, +1)
+
+
+def _monotone(
+    expr: Expr, name: str, domains: Mapping[str, Interval], direction: int
+) -> bool:
+    if name not in expr.free_vars():
+        return True
+    if isinstance(expr, Var):
+        return direction > 0
+    if isinstance(expr, Add):
+        return _monotone(expr.left, name, domains, direction) and _monotone(
+            expr.right, name, domains, direction
+        )
+    if isinstance(expr, Sub):
+        return _monotone(expr.left, name, domains, direction) and _monotone(
+            expr.right, name, domains, -direction
+        )
+    if isinstance(expr, Neg):
+        return _monotone(expr.operand, name, domains, -direction)
+    if isinstance(expr, Mul):
+        for factor, other in ((expr.left, expr.right), (expr.right, expr.left)):
+            if name in factor.free_vars():
+                continue
+            bound = interval_of(factor, domains)
+            if bound.is_nonnegative():
+                return _monotone(other, name, domains, direction)
+            if bound.is_nonpositive():
+                return _monotone(other, name, domains, -direction)
+        return False
+    if isinstance(expr, Div):
+        if name not in expr.right.free_vars():
+            bound = interval_of(expr.right, domains)
+            if bound.sign() == Sign.POSITIVE:
+                return _monotone(expr.left, name, domains, direction)
+            if bound.sign() == Sign.NEGATIVE:
+                return _monotone(expr.left, name, domains, -direction)
+            return False
+        if name not in expr.left.free_vars():
+            numer = interval_of(expr.left, domains)
+            denom = interval_of(expr.right, domains)
+            if not denom.excludes_zero():
+                return False
+            # c / g(x) with c >= 0, g > 0: non-decreasing iff g non-increasing.
+            if numer.is_nonnegative():
+                return _monotone(expr.right, name, domains, -direction)
+            if numer.is_nonpositive():
+                return _monotone(expr.right, name, domains, direction)
+        return False
+    if isinstance(expr, Call):
+        from repro.expr.terms import KNOWN_FUNCTIONS
+
+        if not KNOWN_FUNCTIONS[expr.func]["monotone"]:
+            return False
+        return _monotone(expr.args[0], name, domains, direction)
+    return False

@@ -1,0 +1,219 @@
+"""Canonicalisation of expressions to rational normal form.
+
+The condition checker needs to *prove* algebraic identities such as
+Property 2 of Theorem 1 for the linear/affine fragment where all of the
+paper's satisfiable programs live.  We do this by rewriting both sides of
+an identity into a canonical rational form ``P / Q`` where ``P`` and ``Q``
+are multivariate polynomials with exact :class:`~fractions.Fraction`
+coefficients, then comparing ``P1*Q2 == P2*Q1``.
+
+Non-polynomial primitives (``relu``, ``tanh``...) are treated as *opaque
+atoms*: two ``relu(...)`` terms are the same atom only when their argument
+canonicalises identically.  This keeps the prover sound (it never claims
+an identity that does not hold); identities it cannot prove are handed to
+the refuter, which searches for counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.expr.terms import (
+    Add,
+    Call,
+    Const,
+    Div,
+    Expr,
+    Mul,
+    Neg,
+    Sub,
+    Var,
+)
+
+# A monomial maps atom -> positive integer power; stored as a sorted tuple
+# of (atom_key, power) pairs so it can key a dict.  Atom keys are strings:
+# either a variable name or the canonical rendering of an opaque call.
+Monomial = tuple[tuple[str, int], ...]
+
+_ONE: Monomial = ()
+
+
+class NonRationalError(Exception):
+    """Raised when an expression cannot be put in rational form.
+
+    This happens only for division by a polynomial that mentions an opaque
+    call in a way we refuse to invert; the checker then falls back to
+    random refutation.
+    """
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A multivariate polynomial with Fraction coefficients.
+
+    ``coeffs`` maps monomials to non-zero coefficients; the zero polynomial
+    has an empty mapping.
+    """
+
+    coeffs: tuple[tuple[Monomial, Fraction], ...]
+
+    @staticmethod
+    def from_dict(coeffs: Mapping[Monomial, Fraction]) -> "Polynomial":
+        cleaned = {m: c for m, c in coeffs.items() if c != 0}
+        return Polynomial(tuple(sorted(cleaned.items())))
+
+    @staticmethod
+    def constant(value: Fraction) -> "Polynomial":
+        if value == 0:
+            return Polynomial(())
+        return Polynomial(((_ONE, value),))
+
+    @staticmethod
+    def atom(key: str) -> "Polynomial":
+        return Polynomial(((((key, 1),), Fraction(1)),))
+
+    def as_dict(self) -> dict[Monomial, Fraction]:
+        return dict(self.coeffs)
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def is_constant(self) -> bool:
+        return all(m == _ONE for m, _ in self.coeffs)
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise ValueError("polynomial is not constant")
+        return self.coeffs[0][1] if self.coeffs else Fraction(0)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        out = self.as_dict()
+        for m, c in other.coeffs:
+            out[m] = out.get(m, Fraction(0)) + c
+        return Polynomial.from_dict(out)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(tuple((m, -c) for m, c in self.coeffs))
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        out: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.coeffs:
+            for m2, c2 in other.coeffs:
+                m = _merge_monomials(m1, m2)
+                out[m] = out.get(m, Fraction(0)) + c1 * c2
+        return Polynomial.from_dict(out)
+
+    def degree_in(self, atom_key: str) -> int:
+        """Highest power of ``atom_key`` across all monomials."""
+        best = 0
+        for m, _ in self.coeffs:
+            for key, power in m:
+                if key == atom_key:
+                    best = max(best, power)
+        return best
+
+    def mentions(self, atom_key: str) -> bool:
+        return self.degree_in(atom_key) > 0
+
+    def coefficient_of(self, atom_key: str, power: int) -> "Polynomial":
+        """The polynomial coefficient of ``atom_key ** power``.
+
+        ``power == 0`` returns the part not mentioning the atom at all.
+        """
+        out: dict[Monomial, Fraction] = {}
+        for m, c in self.coeffs:
+            present = dict(m).get(atom_key, 0)
+            if present != power:
+                continue
+            rest = tuple((k, p) for k, p in m if k != atom_key)
+            out[rest] = out.get(rest, Fraction(0)) + c
+        return Polynomial.from_dict(out)
+
+
+def _merge_monomials(m1: Monomial, m2: Monomial) -> Monomial:
+    powers = dict(m1)
+    for key, power in m2:
+        powers[key] = powers.get(key, 0) + power
+    return tuple(sorted((k, p) for k, p in powers.items() if p))
+
+
+@dataclass(frozen=True)
+class RationalForm:
+    """A ratio ``num / den`` of polynomials in canonical form."""
+
+    num: Polynomial
+    den: Polynomial
+
+    def __add__(self, other: "RationalForm") -> "RationalForm":
+        return RationalForm(
+            self.num * other.den + other.num * self.den, self.den * other.den
+        )
+
+    def __neg__(self) -> "RationalForm":
+        return RationalForm(-self.num, self.den)
+
+    def __sub__(self, other: "RationalForm") -> "RationalForm":
+        return self + (-other)
+
+    def __mul__(self, other: "RationalForm") -> "RationalForm":
+        return RationalForm(self.num * other.num, self.den * other.den)
+
+    def __truediv__(self, other: "RationalForm") -> "RationalForm":
+        if other.num.is_zero():
+            raise NonRationalError("division by zero polynomial")
+        return RationalForm(self.num * other.den, self.den * other.num)
+
+    def equals(self, other: "RationalForm") -> bool:
+        """Exact equality as rational functions (cross multiplication)."""
+        return (self.num * other.den - other.num * self.den).is_zero()
+
+
+def _atom_key_for_call(call: Call) -> str:
+    arg_keys = []
+    for arg in call.args:
+        form = rational_form(arg)
+        arg_keys.append(f"{form.num.coeffs!r}/{form.den.coeffs!r}")
+    return f"{call.func}({'|'.join(arg_keys)})"
+
+
+def rational_form(expr: Expr) -> RationalForm:
+    """Rewrite ``expr`` into canonical rational form.
+
+    Raises :class:`NonRationalError` when the expression divides by a
+    non-constant opaque structure that cannot be safely inverted.
+    """
+    one = Polynomial.constant(Fraction(1))
+    if isinstance(expr, Const):
+        return RationalForm(Polynomial.constant(expr.value), one)
+    if isinstance(expr, Var):
+        return RationalForm(Polynomial.atom(expr.name), one)
+    if isinstance(expr, Add):
+        return rational_form(expr.left) + rational_form(expr.right)
+    if isinstance(expr, Sub):
+        return rational_form(expr.left) - rational_form(expr.right)
+    if isinstance(expr, Mul):
+        return rational_form(expr.left) * rational_form(expr.right)
+    if isinstance(expr, Div):
+        return rational_form(expr.left) / rational_form(expr.right)
+    if isinstance(expr, Neg):
+        return -rational_form(expr.operand)
+    if isinstance(expr, Call):
+        return RationalForm(Polynomial.atom(_atom_key_for_call(expr)), one)
+    raise NonRationalError(f"unsupported node {expr!r}")
+
+
+def exprs_equal(left: Expr, right: Expr) -> bool:
+    """Prove that two expressions are identical as rational functions.
+
+    A ``True`` result is a proof (up to opaque-atom identification); a
+    ``False`` result merely means the prover could not establish equality.
+    """
+    try:
+        return rational_form(left).equals(rational_form(right))
+    except NonRationalError:
+        return False

@@ -1,0 +1,264 @@
+"""Immutable expression trees.
+
+Expressions are built from constants, variables, the four arithmetic
+operators, unary negation and calls to a small set of known functions.
+All nodes are frozen dataclasses: they hash, compare structurally and can
+be used as dictionary keys (the polynomial canonicaliser relies on this).
+
+Python operator overloading is provided so expressions compose naturally::
+
+    >>> x, w = var("x"), var("w")
+    >>> e = const(0.85) * x / w
+    >>> sorted(e.free_vars())
+    ['w', 'x']
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+Number = Union[int, float, Fraction]
+
+#: Functions allowed in ``Call`` nodes, with float implementations and the
+#: monotonicity flag used by :mod:`repro.expr.analysis`.  ``relu`` and
+#: ``abs`` are exactly representable over rationals; ``tanh``/``exp``/
+#: ``log`` force float evaluation.
+KNOWN_FUNCTIONS: dict[str, dict] = {
+    "relu": {"impl": lambda v: v if v > 0 else type(v)(0), "monotone": True, "exact": True},
+    "abs": {"impl": abs, "monotone": False, "exact": True},
+    "tanh": {"impl": math.tanh, "monotone": True, "exact": False},
+    "exp": {"impl": math.exp, "monotone": True, "exact": False},
+    "log": {"impl": math.log, "monotone": True, "exact": False},
+    "sigmoid": {
+        "impl": lambda v: 1.0 / (1.0 + math.exp(-v)),
+        "monotone": True,
+        "exact": False,
+    },
+}
+
+
+def _coerce(value: "Expr | Number") -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        return Const(_to_fraction(value))
+    raise TypeError(f"cannot build an expression from {value!r}")
+
+
+def _to_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    # ``Fraction(float)`` is exact; literals like 0.85 become their binary
+    # float value, which is fine because evaluation uses the same value.
+    return Fraction(value).limit_denominator(10**9)
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    # -- construction sugar -------------------------------------------------
+    def __add__(self, other):
+        return Add(self, _coerce(other))
+
+    def __radd__(self, other):
+        return Add(_coerce(other), self)
+
+    def __sub__(self, other):
+        return Sub(self, _coerce(other))
+
+    def __rsub__(self, other):
+        return Sub(_coerce(other), self)
+
+    def __mul__(self, other):
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other):
+        return Mul(_coerce(other), self)
+
+    def __truediv__(self, other):
+        return Div(self, _coerce(other))
+
+    def __rtruediv__(self, other):
+        return Div(_coerce(other), self)
+
+    def __neg__(self):
+        return Neg(self)
+
+    # -- tree utilities ------------------------------------------------------
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def free_vars(self) -> set[str]:
+        """Names of all variables appearing in the expression."""
+        names: set[str] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                names.add(node.name)
+            stack.extend(node.children())
+        return names
+
+    def substitute(self, bindings: Mapping[str, "Expr | Number"]) -> "Expr":
+        """Return a copy with variables replaced by expressions/constants."""
+        resolved = {name: _coerce(value) for name, value in bindings.items()}
+        return self._substitute(resolved)
+
+    def _substitute(self, bindings: Mapping[str, "Expr"]) -> "Expr":
+        raise NotImplementedError
+
+    def contains_call(self) -> bool:
+        """True if any ``Call`` node (non-polynomial primitive) appears."""
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Call):
+                return True
+            stack.extend(node.children())
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """A rational constant."""
+
+    value: Fraction
+
+    def __post_init__(self):
+        if not isinstance(self.value, Fraction):
+            object.__setattr__(self, "value", _to_fraction(self.value))
+
+    def _substitute(self, bindings):
+        return self
+
+    def __repr__(self):
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"{float(self.value):g}"
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A named variable (recursion variable or parameter)."""
+
+    name: str
+
+    def _substitute(self, bindings):
+        return bindings.get(self.name, self)
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Add(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _substitute(self, bindings):
+        return Add(self.left._substitute(bindings), self.right._substitute(bindings))
+
+    def __repr__(self):
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Sub(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _substitute(self, bindings):
+        return Sub(self.left._substitute(bindings), self.right._substitute(bindings))
+
+    def __repr__(self):
+        return f"({self.left!r} - {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Mul(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _substitute(self, bindings):
+        return Mul(self.left._substitute(bindings), self.right._substitute(bindings))
+
+    def __repr__(self):
+        return f"({self.left!r} * {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Div(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _substitute(self, bindings):
+        return Div(self.left._substitute(bindings), self.right._substitute(bindings))
+
+    def __repr__(self):
+        return f"({self.left!r} / {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Neg(Expr):
+    operand: Expr
+
+    def children(self):
+        return (self.operand,)
+
+    def _substitute(self, bindings):
+        return Neg(self.operand._substitute(bindings))
+
+    def __repr__(self):
+        return f"(-{self.operand!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    """Application of a known non-polynomial primitive, e.g. ``relu(x)``."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.func not in KNOWN_FUNCTIONS:
+            raise ValueError(f"unknown function {self.func!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def children(self):
+        return self.args
+
+    def _substitute(self, bindings):
+        return Call(self.func, tuple(a._substitute(bindings) for a in self.args))
+
+    def __repr__(self):
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.func}({inner})"
+
+
+def const(value: Number) -> Const:
+    """Build a constant node from an int/float/Fraction."""
+    return Const(_to_fraction(value))
+
+
+def var(name: str) -> Var:
+    """Build a variable node."""
+    return Var(name)

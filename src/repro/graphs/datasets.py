@@ -1,0 +1,109 @@
+"""The six Table-2 dataset stand-ins.
+
+Each spec mirrors one of the paper's datasets (Table 2), scaled down by
+roughly three orders of magnitude for a pure-Python engine while
+preserving the structural regime the experiments exercise:
+
+=============  ============================  =========================
+paper dataset  paper size (V / E)            stand-in regime
+=============  ============================  =========================
+Flickr         2.3M / 33.1M                  power-law social
+LiveJournal    4.8M / 68.5M                  power-law social, larger
+Orkut          3.1M / 117.2M                 power-law, much denser
+ClueWeb09      20.0M / 243.1M                small diameter (web)
+Wiki-link      12.2M / 378.1M                power-law, dense, skewed
+Arabic-2005    22.7M / 640.0M                high locality, large diameter
+=============  ============================  =========================
+
+Graphs are cached per (name, scale) so benchmark grids reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.graphs.generators import locality_crawl, rmat, small_world
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A synthetic stand-in for one paper dataset."""
+
+    name: str
+    paper_name: str
+    paper_vertices: int
+    paper_edges: int
+    base_vertices: int
+    base_edges: int
+    builder: Callable[[int, int, int, str], Graph]
+    seed: int
+    regime: str
+
+    def build(self, scale: float = 1.0) -> Graph:
+        n = max(32, int(self.base_vertices * scale))
+        m = max(64, int(self.base_edges * scale))
+        return self.builder(n, m, self.seed, self.name)
+
+
+def _social(n: int, m: int, seed: int, name: str) -> Graph:
+    return rmat(n, m, seed=seed, name=name)
+
+
+def _skewed(n: int, m: int, seed: int, name: str) -> Graph:
+    return rmat(n, m, seed=seed, a=0.75, b=0.1, c=0.1, name=name)
+
+
+def _web(n: int, m: int, seed: int, name: str) -> Graph:
+    return small_world(n, m, seed=seed, rewire=0.4, name=name)
+
+
+def _crawl(n: int, m: int, seed: int, name: str) -> Graph:
+    return locality_crawl(n, m, seed=seed, spread=0.006, long_range=0.0004, name=name)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "flickr": DatasetSpec(
+        "flickr", "Flickr", 2_302_925, 33_140_017, 600, 8_600, _social, 101,
+        "power-law social",
+    ),
+    "livej": DatasetSpec(
+        "livej", "LiveJournal", 4_847_571, 68_475_391, 1_200, 17_000, _social, 102,
+        "power-law social",
+    ),
+    "orkut": DatasetSpec(
+        "orkut", "Orkut", 3_072_441, 117_184_899, 800, 30_000, _social, 103,
+        "power-law, dense",
+    ),
+    "web": DatasetSpec(
+        "web", "ClueWeb09", 20_000_000, 243_063_334, 1_300, 16_000, _web, 104,
+        "small diameter",
+    ),
+    "wiki": DatasetSpec(
+        "wiki", "Wiki-link", 12_150_976, 378_142_420, 1_500, 78_000, _skewed, 105,
+        "power-law, very dense, skewed",
+    ),
+    "arabic": DatasetSpec(
+        "arabic", "Arabic-2005", 22_744_080, 639_999_458, 1_400, 39_000, _crawl, 106,
+        "high locality, large diameter",
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Dataset keys in the paper's Table-2 order."""
+    return ["flickr", "livej", "orkut", "web", "wiki", "arabic"]
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, scale: float = 1.0) -> Graph:
+    """Build (or fetch from cache) a dataset stand-in at the given scale."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {dataset_names()}"
+        ) from None
+    return spec.build(scale)

@@ -1,0 +1,66 @@
+"""Edge-list IO.
+
+The paper's PowerLog loads graphs from HDFS; here graphs round-trip
+through plain tab-separated edge-list files (``src<TAB>dst[<TAB>weight]``
+with a ``# vertices <n>`` header) so experiments can be exported and
+re-imported deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.graphs.graph import Graph
+
+
+def write_edge_list(graph: Graph, path: Union[str, os.PathLike]) -> None:
+    """Write a graph as a TSV edge list (weights included if present)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        handle.write(f"# name {graph.name}\n")
+        if graph.weights is None:
+            for src, dst in graph.edges:
+                handle.write(f"{src}\t{dst}\n")
+        else:
+            for (src, dst), weight in zip(graph.edges, graph.weights):
+                handle.write(f"{src}\t{dst}\t{weight}\n")
+
+
+def read_edge_list(path: Union[str, os.PathLike]) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Also accepts plain headerless edge lists, inferring the vertex count
+    as ``max id + 1``.
+    """
+    edges: list[tuple[int, int]] = []
+    weights: list = []
+    num_vertices = None
+    name = "graph"
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    num_vertices = int(parts[1])
+                elif len(parts) == 2 and parts[0] == "name":
+                    name = parts[1]
+                continue
+            fields = line.split("\t")
+            if len(fields) == 1:
+                fields = line.split()
+            src, dst = int(fields[0]), int(fields[1])
+            edges.append((src, dst))
+            if len(fields) >= 3:
+                raw = fields[2]
+                weights.append(float(raw) if "." in raw else int(raw))
+    if weights and len(weights) != len(edges):
+        raise ValueError(f"{path}: some edges have weights and some do not")
+    if num_vertices is None:
+        num_vertices = 1 + max(
+            (max(src, dst) for src, dst in edges), default=-1
+        )
+    return Graph(num_vertices, edges, weights or None, name=name)

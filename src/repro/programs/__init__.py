@@ -1,0 +1,25 @@
+"""The paper's recursive aggregate program library (Table 1).
+
+Fourteen programs: twelve that pass the MRA condition check (SSSP, CC,
+PageRank, Adsorption, Katz metric, Belief Propagation, Paths-in-DAG,
+Cost, Viterbi, SimRank, Lowest Common Ancestor, APSP) and two that fail
+(CommNet, GCN-Forward).  Each :class:`ProgramSpec` carries the Datalog
+source, the expected Table-1 verdict, and a database builder that turns a
+:class:`~repro.graphs.Graph` into the program's EDB relations.
+"""
+
+from repro.programs.registry import (
+    PROGRAMS,
+    ProgramSpec,
+    get_program,
+    program_names,
+    benchmark_programs,
+)
+
+__all__ = [
+    "PROGRAMS",
+    "ProgramSpec",
+    "get_program",
+    "program_names",
+    "benchmark_programs",
+]

@@ -1,0 +1,39 @@
+"""Independent ground-truth oracles.
+
+Used exclusively by tests: each evaluated algorithm gets a second,
+structurally different implementation (Dijkstra instead of Bellman-Ford
+relaxation, union-find instead of label propagation, dense linear
+algebra instead of delta accumulation, dynamic programming instead of
+fixpoint iteration) so that agreement is meaningful evidence of engine
+correctness rather than a shared-bug tautology.
+"""
+
+from repro.reference.oracles import (
+    dijkstra_sssp,
+    union_find_components,
+    dense_pagerank,
+    dense_adsorption,
+    dense_katz,
+    dense_belief_propagation,
+    dag_path_counts,
+    dag_path_costs,
+    viterbi_best_path,
+    floyd_warshall_apsp,
+    lca_ancestor_distances,
+    simrank_series,
+)
+
+__all__ = [
+    "dijkstra_sssp",
+    "union_find_components",
+    "dense_pagerank",
+    "dense_adsorption",
+    "dense_katz",
+    "dense_belief_propagation",
+    "dag_path_counts",
+    "dag_path_costs",
+    "viterbi_best_path",
+    "floyd_warshall_apsp",
+    "lca_ancestor_distances",
+    "simrank_series",
+]

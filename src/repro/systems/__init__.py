@@ -1,0 +1,54 @@
+"""Executable models of the Datalog/graph systems the paper compares.
+
+Each system is reduced to the evaluation strategy and execution mode the
+paper attributes to it (sections 6.2-6.4), running on the shared cluster
+simulator:
+
+===============  ===========================================  ==========
+system           strategy                                      mode
+===============  ===========================================  ==========
+SociaLite        semi-naive (monotonic) / naive (otherwise),   sync
+                 delta-stepping SSSP
+Myria            semi-naive (monotonic) / naive (otherwise)    async
+BigDatalog       semi-naive (monotonic), per-iteration job     sync
+/GraphX          overhead; GraphX incremental PageRank
+PowerGraph       incremental, best of sync/async               either
+Maiter           incremental (delta accumulation)              async
+Prom             incremental, priority updates                 async
+PowerLog         MRA when the condition check passes,          unified
+                 naive+sync otherwise (Figure 2)
+===============  ===========================================  ==========
+
+Strategy and coordination differences (incremental vs full recompute,
+barriers vs staleness, buffering) are *simulated from real execution*.
+On top of that, each baseline carries a constant **engine efficiency
+factor** -- a per-tuple cost multiplier calibrated against the relative
+per-iteration throughputs implied by the paper's Figure 9 (e.g. Myria's
+tuple-at-a-time relational operators vs PowerLog's compiled MonoTable
+updates).  These constants are documented here and in EXPERIMENTS.md;
+they scale absolute times, never orderings between a system's own
+configurations.
+"""
+
+from repro.systems.base import DatalogSystem, SystemRun
+from repro.systems.socialite import SociaLite
+from repro.systems.myria import Myria
+from repro.systems.bigdatalog import BigDatalog
+from repro.systems.powerlog import PowerLog, PowerLogDecision
+from repro.systems.graph_engines import PowerGraph, Maiter, Prom
+from repro.systems.registry import SYSTEMS, get_system
+
+__all__ = [
+    "DatalogSystem",
+    "SystemRun",
+    "SociaLite",
+    "Myria",
+    "BigDatalog",
+    "PowerLog",
+    "PowerLogDecision",
+    "PowerGraph",
+    "Maiter",
+    "Prom",
+    "SYSTEMS",
+    "get_system",
+]

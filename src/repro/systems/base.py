@@ -1,0 +1,78 @@
+"""The Datalog-system interface shared by all baselines and PowerLog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aggregates import AggregateKind
+from repro.distributed.cluster import ClusterConfig
+from repro.engine.plan import CompiledPlan, compile_plan
+from repro.engine.result import EvalResult
+from repro.graphs.graph import Graph
+from repro.programs.registry import ProgramSpec
+
+
+@dataclass(frozen=True)
+class SystemRun:
+    """One cell of a Figure-9-style grid."""
+
+    system: str
+    program: str
+    dataset: str
+    result: EvalResult
+
+    @property
+    def seconds(self) -> float:
+        return self.result.simulated_seconds or 0.0
+
+
+class DatalogSystem:
+    """Base class: compile a program, run it under the system's strategy.
+
+    ``efficiency_factor`` scales per-tuple compute cost -- the calibrated
+    engine-maturity constant (see the package docstring).
+    """
+
+    name = "abstract"
+    efficiency_factor = 1.0
+    extra_job_overhead = 0.0
+
+    def supports(self, spec: ProgramSpec) -> bool:
+        """Whether the system can run this program (paper section 6.3:
+        Myria and BigDatalog do not support Adsorption/Katz/BP)."""
+        return True
+
+    def _tuned_cluster(self, cluster: ClusterConfig) -> ClusterConfig:
+        cost = cluster.cost
+        return cluster.with_cost(
+            tuple_cost=cost.tuple_cost * self.efficiency_factor,
+            scan_cost=cost.scan_cost * self.efficiency_factor,
+            job_overhead=cost.job_overhead + self.extra_job_overhead,
+        )
+
+    def compile(self, spec: ProgramSpec, graph: Graph) -> CompiledPlan:
+        return compile_plan(spec.analysis(), spec.build_database(graph))
+
+    def _is_monotonic(self, spec: ProgramSpec) -> bool:
+        """Monotonic in the baseline systems' sense: a selective
+        (min/max) aggregate, for which classic semi-naive evaluation is
+        valid.  Additive programs fall back to naive evaluation there."""
+        return spec.analysis().aggregate.kind is AggregateKind.SELECTIVE
+
+    def run(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> EvalResult:
+        raise NotImplementedError
+
+    def run_named(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> SystemRun:
+        result = self.run(spec, graph, cluster)
+        return SystemRun(self.name, spec.name, graph.name, result)

@@ -1,0 +1,102 @@
+"""Incremental graph-processing baselines of section 6.4.
+
+The paper compares PowerLog's ablation grid against graph systems that
+support incremental computation: PowerGraph (sync or async; the paper
+reports its best mode), Maiter (async delta accumulation -- the model
+MRA evaluation generalises), and Prom (async belief propagation with
+prioritised block updates).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distributed.async_engine import AsyncEngine
+from repro.distributed.buffers import BufferPolicy
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.sync_engine import SyncEngine
+from repro.engine.result import EvalResult
+from repro.graphs.graph import Graph
+from repro.programs.registry import ProgramSpec
+from repro.systems.base import DatalogSystem
+
+
+class PowerGraph(DatalogSystem):
+    """PowerGraph [OSDI'12]: GAS engine, best of sync and async modes."""
+
+    name = "PowerGraph"
+    efficiency_factor = 1.8  # native C++, but lock-heavy GAS vertex model
+
+    def run(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> EvalResult:
+        cluster = self._tuned_cluster(cluster or ClusterConfig())
+        plan = self.compile(spec, graph)
+        sync_result = SyncEngine(plan, cluster, mode="incremental").run()
+        async_result = AsyncEngine(
+            plan,
+            cluster,
+            buffer_policy=BufferPolicy(initial_beta=128, adaptive=False),
+        ).run()
+        best = min(
+            (sync_result, async_result),
+            key=lambda r: r.simulated_seconds or 0.0,
+        )
+        best.engine = f"{self.name}:{best.engine}"
+        return best
+
+
+class Maiter(DatalogSystem):
+    """Maiter [TPDS'14]: asynchronous delta-based accumulative iteration."""
+
+    name = "Maiter"
+    efficiency_factor = 1.5
+
+    def run(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> EvalResult:
+        cluster = self._tuned_cluster(cluster or ClusterConfig())
+        plan = self.compile(spec, graph)
+        engine = AsyncEngine(
+            plan,
+            cluster,
+            buffer_policy=BufferPolicy(initial_beta=128, adaptive=False),
+        )
+        result = engine.run()
+        result.engine = f"{self.name}:{result.engine}"
+        return result
+
+
+class Prom(DatalogSystem):
+    """Prom [CIKM'14]: prioritised asynchronous belief propagation."""
+
+    name = "Prom"
+    efficiency_factor = 1.5
+
+    def run(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> EvalResult:
+        cluster = self._tuned_cluster(cluster or ClusterConfig())
+        plan = self.compile(spec, graph)
+        # prioritised block updates: larger batches, importance-ordered
+        threshold = None
+        if plan.termination.epsilon is not None and plan.keys:
+            threshold = 10.0 * plan.termination.epsilon / len(plan.keys)
+        engine = AsyncEngine(
+            plan,
+            cluster,
+            buffer_policy=BufferPolicy(initial_beta=128, adaptive=False),
+            importance_threshold=threshold,
+        )
+        result = engine.run()
+        result.engine = f"{self.name}:{result.engine}"
+        return result

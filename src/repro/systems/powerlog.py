@@ -1,0 +1,72 @@
+"""The PowerLog system: the complete pipeline of the paper's Figure 2.
+
+A recursive aggregate program is parsed and analysed, then the automatic
+condition checker decides its fate:
+
+* MRA conditions satisfied -> MRA evaluation on the unified sync-async
+  engine;
+* otherwise -> naive evaluation on the synchronous engine.
+
+``PowerLog.explain`` exposes the decision (check report, chosen engine),
+which the Table-1 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checker import CheckReport, check_analysis
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.sync_engine import SyncEngine
+from repro.distributed.unified import UnifiedEngine
+from repro.engine.result import EvalResult
+from repro.graphs.graph import Graph
+from repro.programs.registry import ProgramSpec
+from repro.systems.base import DatalogSystem
+
+
+@dataclass(frozen=True)
+class PowerLogDecision:
+    """Outcome of the Figure-2 routing decision for one program."""
+
+    report: CheckReport
+    evaluation: str  # "mra" or "naive"
+    engine: str  # "unified sync-async" or "sync"
+
+    def summary(self) -> str:
+        return (
+            f"{self.report.program_name}: {self.evaluation} evaluation on the "
+            f"{self.engine} engine ({self.report.summary()})"
+        )
+
+
+class PowerLog(DatalogSystem):
+    """The PowerLog system: check, route, execute (paper Figure 2)."""
+
+    name = "PowerLog"
+    efficiency_factor = 1.0
+
+    def decide(self, spec: ProgramSpec) -> PowerLogDecision:
+        """Run the automatic condition check and pick the engine."""
+        report = check_analysis(spec.analysis())
+        if report.mra_satisfiable:
+            return PowerLogDecision(report, "mra", "unified sync-async")
+        return PowerLogDecision(report, "naive", "sync")
+
+    def run(
+        self,
+        spec: ProgramSpec,
+        graph: Graph,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> EvalResult:
+        cluster = self._tuned_cluster(cluster or ClusterConfig())
+        decision = self.decide(spec)
+        plan = self.compile(spec, graph)
+        if decision.evaluation == "mra":
+            engine = UnifiedEngine(plan, cluster)
+        else:
+            engine = SyncEngine(plan, cluster, mode="naive")
+        result = engine.run()
+        result.engine = f"{self.name}:{result.engine}"
+        return result

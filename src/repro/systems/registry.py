@@ -1,0 +1,33 @@
+"""System registry used by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.systems.base import DatalogSystem
+from repro.systems.bigdatalog import BigDatalog
+from repro.systems.graph_engines import Maiter, PowerGraph, Prom
+from repro.systems.myria import Myria
+from repro.systems.powerlog import PowerLog
+from repro.systems.socialite import SociaLite
+
+SYSTEMS: dict[str, DatalogSystem] = {
+    system.name: system
+    for system in (
+        SociaLite(),
+        Myria(),
+        BigDatalog(),
+        PowerGraph(),
+        Maiter(),
+        Prom(),
+        PowerLog(),
+    )
+}
+
+
+def get_system(name: str) -> DatalogSystem:
+    """Look up a system model by name (raises ``KeyError`` if unknown)."""
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; expected one of {sorted(SYSTEMS)}"
+        ) from None

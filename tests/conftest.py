@@ -1,0 +1,89 @@
+"""Shared fixtures: small graphs, databases and compiled plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.graphs import Graph, rmat, random_dag
+
+
+@pytest.fixture
+def diamond_db() -> Database:
+    """A small weighted digraph with known shortest paths from vertex 1.
+
+    1 -> 2 (4), 1 -> 3 (1), 3 -> 2 (1), 2 -> 4 (2), 3 -> 4 (5):
+    distances from 1 are {1: 0, 2: 2, 3: 1, 4: 4}.
+    """
+    db = Database()
+    db.add_facts("edge", [(1, 2, 4), (1, 3, 1), (3, 2, 1), (2, 4, 2), (3, 4, 5)])
+    db.add_facts("node", [(1,), (2,), (3,), (4,)])
+    return db
+
+
+@pytest.fixture
+def triangle_db() -> Database:
+    """A 3-cycle with an extra chord, for PageRank-style programs."""
+    db = Database()
+    db.add_facts("edge", [(1, 2), (2, 1), (2, 3), (3, 1)])
+    db.add_facts("node", [(1,), (2,), (3,)])
+    return db
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """A connected power-law digraph (40 vertices)."""
+    return rmat(40, 160, seed=3, name="small")
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A connected power-law digraph (120 vertices)."""
+    return rmat(120, 600, seed=7, name="medium")
+
+
+@pytest.fixture
+def small_dag() -> Graph:
+    """A random DAG rooted at vertex 0 (30 vertices)."""
+    return random_dag(30, 80, seed=4, name="small-dag")
+
+
+@pytest.fixture
+def pair_graph() -> Graph:
+    """A tiny graph for quadratic-key programs (APSP, SimRank)."""
+    return rmat(14, 42, seed=11, name="pair")
+
+
+SSSP_SOURCE = """
+sssp(X, d) :- X = 1, d = 0.
+sssp(Y, min[dy]) :- sssp(X, dx), edge(X, Y, dxy), dy = dx + dxy.
+"""
+
+PAGERANK_SOURCE = """
+assume d > 0.
+degree(X, count[Y]) :- edge(X, Y).
+rank(0, X, r) :- node(X), r = 0.
+rank(i+1, Y, sum[ry]) :- node(Y), ry = 0.15;
+    :- rank(i, X, rx), edge(X, Y), degree(X, d),
+       ry = 0.85 * rx / d, {sum[delta] < 0.0001}.
+"""
+
+CC_SOURCE = """
+cc(X, X) :- edge(X, _).
+cc(Y, min[v]) :- cc(X, v), edge(X, Y).
+"""
+
+
+@pytest.fixture
+def sssp_source() -> str:
+    return SSSP_SOURCE
+
+
+@pytest.fixture
+def pagerank_source() -> str:
+    return PAGERANK_SOURCE
+
+
+@pytest.fixture
+def cc_source() -> str:
+    return CC_SOURCE

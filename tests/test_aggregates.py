@@ -1,0 +1,130 @@
+"""Aggregate operators: algebra, inverses, runtime predicates."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aggregates import (
+    BUILTIN_AGGREGATES,
+    COUNT,
+    MAX,
+    MEAN,
+    MIN,
+    SUM,
+    AggregateKind,
+    get_aggregate,
+)
+
+values = st.fractions(min_value=-50, max_value=50, max_denominator=32)
+COMMUTATIVE_ASSOCIATIVE = [MIN, MAX, SUM, COUNT]
+
+
+class TestRegistry:
+    def test_all_five_present(self):
+        assert set(BUILTIN_AGGREGATES) == {"min", "max", "sum", "count", "mean"}
+
+    def test_lookup(self):
+        assert get_aggregate("min") is MIN
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown aggregate"):
+            get_aggregate("median")
+
+
+class TestAlgebraicLaws:
+    """Validate the metadata the structural prover trusts (section 5.1)."""
+
+    @pytest.mark.parametrize("aggregate", COMMUTATIVE_ASSOCIATIVE, ids=lambda a: a.name)
+    @given(a=values, b=values)
+    def test_commutativity(self, aggregate, a, b):
+        assert aggregate.combine(a, b) == aggregate.combine(b, a)
+
+    @pytest.mark.parametrize("aggregate", COMMUTATIVE_ASSOCIATIVE, ids=lambda a: a.name)
+    @given(a=values, b=values, c=values)
+    def test_associativity(self, aggregate, a, b, c):
+        left = aggregate.combine(aggregate.combine(a, b), c)
+        right = aggregate.combine(a, aggregate.combine(b, c))
+        assert left == right
+
+    def test_mean_fails_associativity(self):
+        a, b, c = Fraction(0), Fraction(0), Fraction(3)
+        left = MEAN.combine(MEAN.combine(a, b), c)
+        right = MEAN.combine(a, MEAN.combine(b, c))
+        assert left != right
+
+    @pytest.mark.parametrize("aggregate", [MIN, MAX], ids=lambda a: a.name)
+    @given(a=values)
+    def test_selective_idempotence(self, aggregate, a):
+        assert aggregate.combine(a, a) == a
+
+    @pytest.mark.parametrize("aggregate", COMMUTATIVE_ASSOCIATIVE, ids=lambda a: a.name)
+    @given(a=values)
+    def test_identity_element(self, aggregate, a):
+        assert aggregate.combine(aggregate.identity, a) == a
+
+
+class TestInverse:
+    """``G⁻`` of section 3.3: the delta that recreates the new value."""
+
+    @given(new=values, old=values)
+    def test_min_subtract_recombines(self, new, old):
+        delta = MIN.subtract(new, old)
+        if delta is None:
+            # no delta needed: combining nothing keeps old >= new invalid
+            assert MIN.combine(old, new) == old
+        else:
+            assert MIN.combine(old, delta) == min(new, old)
+
+    @given(new=values, old=values)
+    def test_sum_subtract_recombines(self, new, old):
+        delta = SUM.subtract(new, old)
+        if delta is None:
+            assert new == old
+        else:
+            assert SUM.combine(old, delta) == new
+
+    @given(new=values, old=values)
+    def test_max_subtract_recombines(self, new, old):
+        delta = MAX.subtract(new, old)
+        if delta is None:
+            assert MAX.combine(old, new) == old
+        else:
+            assert MAX.combine(old, delta) == max(new, old)
+
+    def test_subtract_against_missing_old(self):
+        assert MIN.subtract(5, None) == 5
+        assert SUM.subtract(5, None) == 5
+
+
+class TestRuntimePredicates:
+    def test_improves_min(self):
+        assert MIN.improves(5, 3)
+        assert not MIN.improves(3, 5)
+        assert MIN.improves(None, 10)
+
+    def test_improves_sum(self):
+        assert SUM.improves(5, 1)
+        assert not SUM.improves(5, 0)
+
+    def test_delta_magnitude(self):
+        assert SUM.delta_magnitude(-3) == 3.0
+        assert SUM.delta_magnitude(None) == 0.0
+
+    def test_combine_many(self):
+        assert MIN.combine_many([3, 1, 2]) == 1
+        assert SUM.combine_many([3, 1, 2]) == 6
+
+    def test_combine_many_empty_min_raises(self):
+        # min's identity is +inf, which is a fine result for "no inputs"
+        assert MIN.combine_many([]) == math.inf
+
+    def test_combine_many_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            MEAN.combine_many([])
+
+    def test_kinds(self):
+        assert MIN.kind is AggregateKind.SELECTIVE
+        assert SUM.kind is AggregateKind.ADDITIVE
+        assert MEAN.kind is AggregateKind.OTHER

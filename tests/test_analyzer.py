@@ -1,0 +1,167 @@
+"""Semantic analysis: G / F' / C extraction and class restrictions."""
+
+import math
+
+import pytest
+
+from repro.datalog import AnalysisError, analyze, parse_program
+from repro.expr import Call, Const, Var
+from repro.programs import PROGRAMS
+
+
+class TestExtraction:
+    def test_sssp(self, sssp_source):
+        analysis = analyze(parse_program(sssp_source, name="sssp"))
+        assert analysis.aggregate.name == "min"
+        assert analysis.fprime == Var("dx") + Var("dxy")
+        assert analysis.fprime_params == ("dxy",)
+        assert analysis.recursion_var == "dx"
+        assert analysis.key_vars == ("Y",)
+        assert not analysis.iterated
+        assert not analysis.constant_bodies
+
+    def test_pagerank(self, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source, name="pagerank"))
+        assert analysis.aggregate.name == "sum"
+        assert analysis.iterated and analysis.iter_var == "i"
+        assert analysis.fprime_params == ("d",)
+        assert len(analysis.constant_bodies) == 1
+        assert len(analysis.base_rules) == 1
+        assert [r.head.name for r in analysis.aux_rules] == ["degree"]
+        assert analysis.edb_predicates == ("edge", "node")
+        assert analysis.termination is not None
+        assert float(analysis.termination.threshold) == pytest.approx(1e-4)
+
+    def test_identity_fprime(self, cc_source):
+        analysis = analyze(parse_program(cc_source, name="cc"))
+        assert analysis.fprime == Var("v")
+        assert analysis.fprime_params == ()
+
+    def test_domains_from_assume(self, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source))
+        domain = analysis.domains["d"]
+        assert domain.lo == 0.0 and domain.lo_strict
+
+    def test_chained_definitions_substituted(self):
+        source = """
+        v(X, s) :- X = 0, s = 1.
+        v(Y, sum[s1]) :- v(X, s), e(X, Y, w), half = s * 0.5, s1 = half * w.
+        """
+        analysis = analyze(parse_program(source))
+        assert analysis.fprime.free_vars() == {"s", "w"}
+
+    def test_gcn_call_extraction(self):
+        analysis = PROGRAMS["gcn"].analysis()
+        assert analysis.fprime == Call("relu", (Var("g") * Var("p"),)) * Var("w")
+
+    def test_pair_keys(self):
+        analysis = PROGRAMS["apsp"].analysis()
+        assert analysis.key_vars == ("S", "Y")
+        assert analysis.recursion.source_keys == ("S", "X")
+
+
+class TestDomainsIntersection:
+    def test_two_bounds_intersect(self):
+        source = """
+        assume w >= 0.
+        assume w <= 1.
+        a(X, v) :- X = 0, v = 1.
+        a(Y, sum[v1]) :- a(X, v), e(X, Y, w), v1 = v * w.
+        """
+        domain = analyze(parse_program(source)).domains["w"]
+        assert (domain.lo, domain.hi) == (0.0, 1.0)
+
+    def test_equality_assume(self):
+        source = """
+        assume c = 2.
+        a(X, v) :- X = 0, v = 1.
+        a(Y, sum[v1]) :- a(X, v), e(X, Y, c), v1 = v * c.
+        """
+        domain = analyze(parse_program(source)).domains["c"]
+        assert (domain.lo, domain.hi) == (2.0, 2.0)
+
+
+class TestRejections:
+    def test_no_recursive_rule(self):
+        with pytest.raises(AnalysisError, match="no recursive rule"):
+            analyze(parse_program("a(X, v) :- b(X, v)."))
+
+    def test_mutual_recursion(self):
+        source = """
+        a(X, min[v]) :- b(X, v).
+        b(X, min[v]) :- a(Y, v), e(Y, X).
+        a(X, min[v]) :- a(Y, v), e(Y, X).
+        """
+        with pytest.raises(AnalysisError):
+            analyze(parse_program(source))
+
+    def test_nonlinear_recursion(self):
+        source = "p(X, Z, min[d]) :- p(X, Y, d1), p(Y, Z, d2), d = d1 + d2."
+        with pytest.raises(AnalysisError, match="non-linear"):
+            analyze(parse_program(source))
+
+    def test_missing_aggregate(self):
+        source = "a(X, v) :- a(Y, v), e(Y, X)."
+        with pytest.raises(AnalysisError, match="no aggregate"):
+            analyze(parse_program(source))
+
+    def test_aggregate_not_last(self):
+        source = "a(min[v], X) :- a(v, Y), e(Y, X)."
+        with pytest.raises(AnalysisError):
+            analyze(parse_program(source))
+
+    def test_undefined_aggregate_variable(self):
+        source = "a(X, min[w]) :- a(Y, v), e(Y, X)."
+        with pytest.raises(AnalysisError, match="not defined"):
+            analyze(parse_program(source))
+
+    def test_duplicate_definition(self):
+        source = """
+        a(X, min[v1]) :- a(Y, v), e(Y, X), v1 = v + 1, v1 = v + 2.
+        """
+        with pytest.raises(AnalysisError, match="more than once"):
+            analyze(parse_program(source))
+
+
+class TestMultipleRecursiveBodies:
+    """Program-2.b style rules: several recursive bodies, each with F'."""
+
+    SOURCE = """
+    rank(0, X, r) :- node(X), r = 0.15.
+    rank(i+1, Y, sum[ry]) :- rank(i, Y, prev), ry = prev;
+        :- rank(i, X, rx), edge(X, Y), degree(X, d), ry = 0.85 * rx / d,
+           {sum[delta] < 0.001}.
+    degree(X, count[Y]) :- edge(X, Y).
+    assume d > 0.
+    """
+
+    def test_two_recursions_extracted(self):
+        analysis = analyze(parse_program(self.SOURCE, name="pagerank-2b"))
+        assert len(analysis.recursions) == 2
+
+    def test_primary_is_the_join_body(self):
+        analysis = analyze(parse_program(self.SOURCE, name="pagerank-2b"))
+        assert analysis.recursion.join_atoms  # edge + degree
+        assert analysis.fprime_params == ("d",)
+
+    def test_self_body_has_identity_fprime(self):
+        from repro.expr import Var
+
+        analysis = analyze(parse_program(self.SOURCE, name="pagerank-2b"))
+        self_spec = analysis.recursions[1]
+        assert not self_spec.join_atoms
+        assert self_spec.fprime == Var("prev")
+
+
+class TestLibraryPrograms:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_analyzes(self, name):
+        analysis = PROGRAMS[name].analysis()
+        assert analysis.head
+        assert analysis.fprime is not None
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_fprime_mentions_only_recursion_var_and_params(self, name):
+        analysis = PROGRAMS[name].analysis()
+        allowed = {analysis.recursion_var, *analysis.fprime_params}
+        assert analysis.fprime.free_vars() <= allowed

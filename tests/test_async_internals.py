@@ -1,0 +1,113 @@
+"""Async engine internals: flush paths, deferral wake-up, AAP adaptation."""
+
+import pytest
+
+from repro.distributed import (
+    AAPEngine,
+    AsyncEngine,
+    ClusterConfig,
+    UnifiedEngine,
+)
+from repro.distributed.buffers import BufferPolicy
+from repro.engine import MRAEvaluator
+from repro.graphs import rmat
+from repro.programs import PROGRAMS
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(60, 300, seed=91, name="async-internals")
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterConfig(num_workers=6)
+
+
+class TestFlushPaths:
+    def test_huge_beta_relies_on_timer_flush(self, graph, cluster):
+        """With beta far above any payload, only tau-based flushes move
+        data between workers -- the run must still converge correctly."""
+        plan = PROGRAMS["sssp"].plan(graph)
+        policy = BufferPolicy(initial_beta=10**9, tau=2e-3, adaptive=False)
+        result = AsyncEngine(plan, cluster, buffer_policy=policy).run()
+        expected = MRAEvaluator(plan).run().values
+        assert result.values == expected
+        assert result.counters.messages > 0
+
+    def test_tiny_beta_floods_messages(self, graph, cluster):
+        plan = PROGRAMS["sssp"].plan(graph)
+        eager = AsyncEngine(
+            plan, cluster,
+            buffer_policy=BufferPolicy(initial_beta=1, adaptive=False),
+        ).run()
+        lazy = AsyncEngine(
+            plan, cluster,
+            buffer_policy=BufferPolicy(initial_beta=512, adaptive=False),
+        ).run()
+        assert eager.counters.messages > 2 * lazy.counters.messages
+        assert eager.values == lazy.values
+
+    def test_message_tuples_bounded_by_combining(self, graph, cluster):
+        """Buffers g-combine per-destination updates, so message tuples
+        cannot exceed raw F' applications."""
+        plan = PROGRAMS["pagerank"].plan(graph)
+        result = UnifiedEngine(plan, cluster).run()
+        assert result.counters.message_tuples <= result.counters.fprime_applications
+
+
+class TestDeferralWakeup:
+    def test_deferred_deltas_wake_on_delivery(self, graph, cluster):
+        """A worker whose whole shard is below the importance threshold
+        idles; arriving contributions must reactivate it (no livelock,
+        correct result)."""
+        plan = PROGRAMS["pagerank"].plan(graph)
+        # aggressive threshold: plenty of deferral traffic
+        result = UnifiedEngine(
+            plan, cluster, importance_threshold=1e-4
+        ).run()
+        expected = MRAEvaluator(plan).run().values
+        for key, value in expected.items():
+            assert result.values[key] == pytest.approx(value, abs=5e-2)
+        assert result.stop_reason in ("epsilon", "fixpoint")
+
+    def test_zero_threshold_equals_plain_async(self, graph, cluster):
+        plan = PROGRAMS["pagerank"].plan(graph)
+        unified = UnifiedEngine(
+            plan, cluster, importance_threshold=0.0,
+            buffer_policy=BufferPolicy(initial_beta=64, adaptive=False),
+        ).run()
+        plain = AsyncEngine(
+            plan, cluster,
+            buffer_policy=BufferPolicy(initial_beta=64, adaptive=False),
+        ).run()
+        assert unified.counters.fprime_applications == plain.counters.fprime_applications
+
+
+class TestAAPAdaptation:
+    def test_aap_differs_from_plain_async_in_batching(self, graph, cluster):
+        plan = PROGRAMS["pagerank"].plan(graph)
+        aap = AAPEngine(plan, cluster, stream_batch=8).run()
+        expected = MRAEvaluator(plan).run().values
+        for key, value in expected.items():
+            assert aap.values[key] == pytest.approx(value, abs=2e-3)
+
+    def test_aap_stream_batch_bounds_work_amplification(self, graph, cluster):
+        """Flooded AAP workers switch to sweeps, so even with a tiny
+        stream batch the work amplification stays bounded."""
+        plan = PROGRAMS["pagerank"].plan(graph)
+        aap = AAPEngine(plan, cluster, stream_batch=4).run()
+        sweep = AsyncEngine(plan, cluster).run()
+        assert (
+            aap.counters.fprime_applications
+            < 5 * sweep.counters.fprime_applications
+        )
+
+
+class TestStopClock:
+    def test_fixpoint_time_not_quantised_to_master_interval(self, graph, cluster):
+        plan = PROGRAMS["sssp"].plan(graph)
+        result = AsyncEngine(plan, cluster).run()
+        interval = cluster.cost.termination_interval
+        # the reported time is the last work event, not a master tick
+        assert result.simulated_seconds % interval != 0.0

@@ -1,0 +1,102 @@
+"""Message buffers and the paper's adaptive sizing rule (section 5.3)."""
+
+from repro.aggregates import MIN, SUM
+from repro.distributed import AdaptiveBuffer, BufferPolicy, FixedBuffer
+
+
+class TestFixedBuffer:
+    def test_combines_duplicate_keys(self):
+        buffer = FixedBuffer(beta=10, tau=1.0)
+        buffer.add("a", 3, SUM.combine)
+        buffer.add("a", 4, SUM.combine)
+        assert buffer.pending == {"a": 7}
+        assert buffer.pending_count == 1
+
+    def test_min_combining_prunes_in_buffer(self):
+        buffer = FixedBuffer(beta=10, tau=1.0)
+        buffer.add("a", 5, MIN.combine)
+        buffer.add("a", 3, MIN.combine)
+        buffer.add("a", 9, MIN.combine)
+        assert buffer.pending == {"a": 3}
+
+    def test_flush_by_size(self):
+        buffer = FixedBuffer(beta=2, tau=100.0)
+        buffer.add("a", 1, SUM.combine)
+        assert not buffer.should_flush(now=0.0)
+        buffer.add("b", 1, SUM.combine)
+        assert buffer.should_flush(now=0.0)
+
+    def test_flush_by_age(self):
+        buffer = FixedBuffer(beta=100, tau=0.5)
+        buffer.add("a", 1, SUM.combine)
+        assert not buffer.should_flush(now=0.4)
+        assert buffer.should_flush(now=0.6)
+
+    def test_empty_never_flushes(self):
+        buffer = FixedBuffer(beta=1, tau=0.0)
+        assert not buffer.should_flush(now=100.0)
+
+    def test_flush_empties_and_stamps(self):
+        buffer = FixedBuffer(beta=1, tau=1.0)
+        buffer.add("a", 1, SUM.combine)
+        payload = buffer.flush(now=2.0)
+        assert payload == {"a": 1}
+        assert buffer.pending == {} and buffer.last_flush_time == 2.0
+
+
+class TestAdaptiveBuffer:
+    def _policy(self, **kwargs):
+        defaults = dict(initial_beta=64, tau=1.0, alpha=0.8, r=2.0)
+        defaults.update(kwargs)
+        return BufferPolicy(adaptive=True, **defaults)
+
+    def test_fast_pace_grows_beta(self):
+        buffer = AdaptiveBuffer(self._policy())
+        # 1000 updates in 1 simulated second: pace 1000 > r * beta/tau = 128
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 0.8 * 1.0 * 1000  # alpha * tau * |B|/dT
+
+    def test_slow_pace_shrinks_beta(self):
+        buffer = AdaptiveBuffer(self._policy())
+        for i in range(10):  # pace 10 < beta/(r*tau) = 32
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 0.8 * 10
+
+    def test_in_band_pace_keeps_beta(self):
+        buffer = AdaptiveBuffer(self._policy())
+        for i in range(64):  # pace 64, band is (32, 128)
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 64
+
+    def test_clamped_to_bounds(self):
+        policy = self._policy(min_beta=8, max_beta=100)
+        buffer = AdaptiveBuffer(policy)
+        for i in range(100_000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 100
+
+        buffer2 = AdaptiveBuffer(policy)
+        buffer2.add(0, 1, SUM.combine)
+        buffer2.observe_flush(now=10.0)
+        assert buffer2.beta == 8
+
+    def test_window_resets_after_flush(self):
+        buffer = AdaptiveBuffer(self._policy())
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        first_beta = buffer.beta
+        buffer.observe_flush(now=2.0)  # empty window: pace 0 -> shrink to min
+        assert buffer.beta <= first_beta
+
+    def test_non_adaptive_policy_never_adapts(self):
+        buffer = AdaptiveBuffer(BufferPolicy(adaptive=False, initial_beta=64))
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 64

@@ -1,0 +1,97 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCheck:
+    def test_library_program_passes(self, capsys):
+        assert main(["check", "sssp"]) == 0
+        out = capsys.readouterr().out
+        assert "MRA sat. = yes" in out
+
+    def test_failing_program_exits_nonzero(self, capsys):
+        assert main(["check", "gcn"]) == 1
+        assert "MRA sat. = no" in capsys.readouterr().out
+
+    def test_datalog_file(self, tmp_path, capsys):
+        source = tmp_path / "reach.dl"
+        source.write_text(
+            "reach(X, v) :- X = 0, v = 1.\n"
+            "reach(Y, sum[v1]) :- reach(X, v), edge(X, Y, w), "
+            "v1 = 0.1 * v, {sum[dv] < 0.001}.\n"
+        )
+        assert main(["check", str(source)]) == 0
+        assert "linear-homogeneous" in capsys.readouterr().out
+
+    def test_smt2_emission(self, tmp_path, capsys):
+        out_file = tmp_path / "check.smt2"
+        main(["check", "pagerank", "--smt2", str(out_file)])
+        assert "(check-sat)" in out_file.read_text()
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit, match="neither a file nor"):
+            main(["check", "no-such-thing"])
+
+
+class TestRun:
+    def test_run_powerlog(self, capsys):
+        assert main(["run", "sssp", "--dataset", "flickr"]) == 0
+        out = capsys.readouterr().out
+        assert "SSSP on flickr" in out
+        assert "simulated" in out
+
+    def test_run_explicit_engine_with_top(self, capsys):
+        assert main([
+            "run", "cc", "--dataset", "flickr", "--engine", "sync", "--top", "2",
+        ]) == 0
+        assert "top 2" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["run", "sssp", "--dataset", "imagenet"])
+
+
+class TestListing:
+    def test_programs(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out
+        assert "GCN-Forward" in out and "SSSP" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "arabic" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "14/14" in out
+
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Arabic-2005" in capsys.readouterr().out
+
+
+class TestRunOnUserGraph:
+    def test_graph_file_option(self, tmp_path, capsys):
+        from repro.graphs import rmat, write_edge_list
+
+        path = tmp_path / "mine.tsv"
+        write_edge_list(rmat(30, 120, seed=2, name="mine"), path)
+        assert main(["run", "cc", "--graph", str(path), "--engine", "sync"]) == 0
+        out = capsys.readouterr().out
+        assert "CC on mine" in out

@@ -1,0 +1,68 @@
+"""The six Table-2 dataset stand-ins and their structural regimes."""
+
+import pytest
+
+from repro.graphs import DATASETS, compute_stats, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_six_datasets_in_paper_order(self):
+        assert dataset_names() == ["flickr", "livej", "orkut", "web", "wiki", "arabic"]
+
+    def test_specs_record_paper_sizes(self):
+        assert DATASETS["arabic"].paper_vertices == 22_744_080
+        assert DATASETS["arabic"].paper_edges == 639_999_458
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_cached_instances(self):
+        assert load_dataset("flickr") is load_dataset("flickr")
+
+    def test_scaling(self):
+        full = load_dataset("flickr", 1.0)
+        half = load_dataset("flickr", 0.5)
+        assert half.num_vertices < full.num_vertices
+
+
+class TestStructuralRegimes:
+    """The properties the experiments depend on (see DESIGN.md)."""
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_fully_reachable_from_zero(self, name):
+        stats = compute_stats(load_dataset(name))
+        assert stats.reachable_from_0 == stats.num_vertices
+
+    def test_arabic_has_the_largest_diameter(self):
+        eccentricities = {
+            name: compute_stats(load_dataset(name)).eccentricity_from_0
+            for name in dataset_names()
+        }
+        assert max(eccentricities, key=eccentricities.get) == "arabic"
+        assert eccentricities["arabic"] >= 3 * eccentricities["web"]
+
+    def test_social_graphs_are_skewed(self):
+        for name in ("flickr", "livej", "orkut", "wiki"):
+            assert compute_stats(load_dataset(name)).degree_skew > 5
+
+    def test_web_and_arabic_are_flat(self):
+        for name in ("web", "arabic"):
+            assert compute_stats(load_dataset(name)).degree_skew < 3
+
+    def test_relative_density_ordering(self):
+        degrees = {
+            name: compute_stats(load_dataset(name)).avg_degree
+            for name in dataset_names()
+        }
+        # Orkut and Wiki-link are the dense ones in Table 2
+        assert degrees["orkut"] > degrees["flickr"]
+        assert degrees["wiki"] > degrees["livej"]
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic(self, name):
+        load_dataset.cache_clear()
+        first = load_dataset(name)
+        load_dataset.cache_clear()
+        second = load_dataset(name)
+        assert first.edges == second.edges

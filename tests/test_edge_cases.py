@@ -1,0 +1,116 @@
+"""Corner cases across modules: symbolic constants, odd graphs, empty data."""
+
+import math
+
+import pytest
+
+from repro.datalog import analyze, parse_program
+from repro.engine import (
+    Database,
+    MRAEvaluator,
+    NaiveEvaluator,
+    compile_plan,
+)
+from repro.graphs import Graph, chain, star
+
+
+class TestSymbolConstants:
+    def test_string_facts_join(self):
+        db = Database()
+        db.add_facts("labelled", [(1, "seed"), (2, "other")])
+        db.add_facts("edge", [(1, 2, 1), (2, 3, 1)])
+        source = """
+        dist(X, d) :- labelled(X, "seed"), d = 0.
+        dist(Y, min[dy]) :- dist(X, dx), edge(X, Y, w), dy = dx + w.
+        """
+        analysis = analyze(parse_program(source, name="seeded"))
+        result = NaiveEvaluator(analysis, db).run()
+        assert result.values == {1: 0, 2: 1, 3: 2}
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        graph = Graph(1, [])
+        from repro.programs import PROGRAMS
+
+        plan = PROGRAMS["cc"].plan(graph)
+        result = MRAEvaluator(plan).run()
+        # no edges: the lone vertex keeps (or never gets) its own label
+        assert result.values.get(0, 0) == 0
+
+    def test_chain_sssp_distances(self):
+        graph = chain(6)
+        from repro.programs import PROGRAMS
+
+        plan = PROGRAMS["sssp"].plan(graph)
+        weights = dict(
+            ((s, d), w) for s, d, w in graph.weighted_edges()
+        )
+        result = MRAEvaluator(plan).run()
+        expected = 0
+        for v in range(1, 6):
+            expected += weights[(v - 1, v)]
+            assert result.values[v] == expected
+
+    def test_star_pagerank_centre_gets_nothing(self):
+        graph = star(10)
+        from repro.programs import PROGRAMS
+
+        plan = PROGRAMS["pagerank"].plan(graph)
+        result = MRAEvaluator(plan).run()
+        # centre 0 has no in-edges: rank exactly the constant part
+        assert result.values[0] == pytest.approx(0.15, abs=1e-6)
+        # every spoke receives 0.15 + 0.85 * 0.15 / 9
+        for spoke in range(1, 10):
+            assert result.values[spoke] == pytest.approx(
+                0.15 + 0.85 * 0.15 / 9, abs=1e-6
+            )
+
+    def test_disconnected_component_unreached_by_sssp(self):
+        graph = Graph(4, [(0, 1), (2, 3)], weights=[1, 1])
+        from repro.programs import PROGRAMS
+
+        plan = PROGRAMS["sssp"].plan(graph)
+        result = MRAEvaluator(plan).run()
+        assert result.values == {0: 0, 1: 1}  # 2, 3 unreachable
+
+
+class TestSelfLoops:
+    def test_min_program_with_self_loop_terminates(self):
+        db = Database()
+        db.add_facts("edge", [(0, 0, 1), (0, 1, 2)])
+        source = """
+        d(X, v) :- X = 0, v = 0.
+        d(Y, min[v1]) :- d(X, v), edge(X, Y, w), v1 = v + w.
+        """
+        analysis = analyze(parse_program(source, name="loop"))
+        result = MRAEvaluator(compile_plan(analysis, db)).run()
+        assert result.values == {0: 0, 1: 2}
+        assert result.stop_reason == "fixpoint"
+
+    def test_contractive_sum_self_loop_converges(self):
+        db = Database()
+        db.add_facts("edge", [(0, 0, 1)])
+        source = """
+        s(X, v) :- X = 0, v = 1.
+        s(Y, sum[v1]) :- s(X, v), edge(X, Y, w), v1 = 0.5 * v,
+            {sum[dv] < 0.000001}.
+        """
+        analysis = analyze(parse_program(source, name="geometric"))
+        result = MRAEvaluator(compile_plan(analysis, db)).run()
+        # 1 + 1/2 + 1/4 + ... = 2
+        assert result.values[0] == pytest.approx(2.0, abs=1e-4)
+
+
+class TestEmptyAndMissing:
+    def test_program_with_no_matching_base_facts(self):
+        db = Database()
+        db.add_facts("edge", [(5, 6, 1)])
+        source = """
+        d(X, v) :- X = 0, v = 0.
+        d(Y, min[v1]) :- d(X, v), edge(X, Y, w), v1 = v + w.
+        """
+        analysis = analyze(parse_program(source, name="missing-source"))
+        result = MRAEvaluator(compile_plan(analysis, db)).run()
+        # source vertex 0 has no edges: only its own base fact survives
+        assert result.values == {0: 0}

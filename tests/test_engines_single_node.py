@@ -1,0 +1,160 @@
+"""Naive, semi-naive and MRA evaluation on the relational/compiled paths."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import analyze, parse_program
+from repro.engine import (
+    MRAEvaluator,
+    NaiveEvaluator,
+    SemiNaiveEvaluator,
+    compile_plan,
+)
+from repro.engine.mra import compute_initial_delta
+from repro.engine.seminaive import UnsupportedProgramError
+from repro.graphs import rmat
+from repro.programs import PROGRAMS
+
+
+class TestNaiveSSSP:
+    def test_hand_computed_distances(self, diamond_db, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        result = NaiveEvaluator(analysis, diamond_db).run()
+        assert result.values == {1: 0, 2: 2, 3: 1, 4: 4}
+        assert result.stop_reason == "fixpoint"
+
+    def test_iterations_match_bellman_ford_depth(self, diamond_db, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        result = NaiveEvaluator(analysis, diamond_db).run()
+        # longest shortest path has 3 hops; +1 iteration to detect fixpoint
+        assert result.counters.iterations == 4
+
+    def test_input_database_not_mutated(self, diamond_db, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        before = len(diamond_db.relation("edge"))
+        NaiveEvaluator(analysis, diamond_db).run()
+        assert len(diamond_db.relation("edge")) == before
+        assert "sssp" not in diamond_db
+
+
+class TestNaivePageRank:
+    def test_epsilon_termination(self, triangle_db, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source))
+        result = NaiveEvaluator(analysis, triangle_db).run()
+        assert result.stop_reason == "epsilon"
+
+    def test_values_at_fixpoint(self, triangle_db, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source))
+        values = NaiveEvaluator(analysis, triangle_db).run().values
+        # fixpoint equations: r1 = .15 + .85*(r2/2 + r3), r2 = .15 + .85*r1,
+        # r3 = .15 + .85*r2/2
+        r1, r2, r3 = values[1], values[2], values[3]
+        assert r1 == pytest.approx(0.15 + 0.85 * (r2 / 2 + r3), abs=1e-3)
+        assert r2 == pytest.approx(0.15 + 0.85 * r1, abs=1e-3)
+        assert r3 == pytest.approx(0.15 + 0.85 * r2 / 2, abs=1e-3)
+
+
+class TestSemiNaive:
+    def test_matches_naive_on_sssp(self, diamond_db, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        naive = NaiveEvaluator(analysis, diamond_db).run()
+        semi = SemiNaiveEvaluator(analysis, diamond_db).run()
+        assert naive.values == semi.values
+
+    def test_less_join_work_than_naive(self, sssp_source):
+        graph = rmat(60, 300, seed=17)
+        db = PROGRAMS["sssp"].build_database(graph)
+        analysis = PROGRAMS["sssp"].analysis()
+        naive = NaiveEvaluator(analysis, db).run()
+        semi = SemiNaiveEvaluator(analysis, db).run()
+        assert (
+            semi.counters.bindings_produced < naive.counters.bindings_produced
+        )
+
+    def test_rejects_additive_programs(self, triangle_db, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source))
+        with pytest.raises(UnsupportedProgramError, match="monotonic"):
+            SemiNaiveEvaluator(analysis, triangle_db)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_equivalent_to_naive_on_random_graphs(self, seed):
+        graph = rmat(25, 100, seed=seed)
+        db = PROGRAMS["cc"].build_database(graph)
+        analysis = PROGRAMS["cc"].analysis()
+        naive = NaiveEvaluator(analysis, db).run()
+        semi = SemiNaiveEvaluator(analysis, db).run()
+        assert naive.values == semi.values
+
+
+class TestInitialDelta:
+    """Section 3.3: ``X¹ = G(ΔX¹ ∪ X⁰)`` must hold exactly."""
+
+    @pytest.mark.parametrize("name", ["sssp", "pagerank", "katz", "adsorption"])
+    def test_delta_recreates_x1(self, name, small_graph):
+        spec = PROGRAMS[name]
+        plan = spec.plan(small_graph)
+        aggregate = plan.aggregate
+        delta = compute_initial_delta(plan)
+
+        # recompute X¹ naively from the plan
+        x1: dict = dict(plan.initial)
+        for key, value in plan.constants.items():
+            x1[key] = value if key not in x1 else aggregate.combine(x1[key], value)
+        for src, value in plan.initial.items():
+            for dst, params, fn in plan.edges_from(src):
+                contribution = fn(value, *params)
+                x1[dst] = (
+                    contribution
+                    if dst not in x1
+                    else aggregate.combine(x1[dst], contribution)
+                )
+
+        for key, value in x1.items():
+            pieces = [v for v in (plan.initial.get(key), delta.get(key)) if v is not None]
+            assert pieces, f"no reconstruction for {key}"
+            assert aggregate.combine_many(pieces) == pytest.approx(value)
+
+    def test_sssp_delta_is_x1_for_new_keys(self, diamond_db, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        plan = compile_plan(analysis, diamond_db)
+        delta = compute_initial_delta(plan)
+        # paper: ΔX¹ = X¹ for SSSP -- the source's unchanged 0 is dropped
+        assert delta == {2: 4, 3: 1}
+
+
+class TestMRAEquivalence:
+    """Theorem 1: MRA evaluation equals naive evaluation."""
+
+    GRAPH_PROGRAMS = ["sssp", "cc", "pagerank", "adsorption", "katz"]
+
+    @pytest.mark.parametrize("name", GRAPH_PROGRAMS)
+    def test_matches_naive(self, name, small_graph):
+        spec = PROGRAMS[name]
+        analysis = spec.analysis()
+        db = spec.build_database(small_graph)
+        naive = NaiveEvaluator(analysis, db).run()
+        mra = MRAEvaluator(compile_plan(analysis, db)).run()
+        tolerance = 0 if analysis.aggregate.is_idempotent else 1e-3
+        assert set(naive.values) == set(mra.values)
+        for key, expected in naive.values.items():
+            assert mra.values[key] == pytest.approx(expected, abs=tolerance)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_sssp_equivalence_random_graphs(self, seed):
+        graph = rmat(30, 120, seed=seed)
+        spec = PROGRAMS["sssp"]
+        analysis = spec.analysis()
+        db = spec.build_database(graph)
+        naive = NaiveEvaluator(analysis, db).run()
+        mra = MRAEvaluator(compile_plan(analysis, db)).run()
+        assert naive.values == mra.values
+
+    def test_mra_counts_work(self, small_graph):
+        plan = PROGRAMS["sssp"].plan(small_graph)
+        result = MRAEvaluator(plan).run()
+        assert result.counters.fprime_applications > 0
+        assert result.counters.updates >= len(result.values) - 1

@@ -1,0 +1,101 @@
+"""Evaluation and compilation of expressions."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr import Call, EvalError, compile_fn, const, evaluate, var
+
+rationals = st.fractions(
+    min_value=-100, max_value=100, max_denominator=64
+)
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        expr = (var("x") + 2) * var("y") - 1
+        assert evaluate(expr, {"x": 3, "y": 4}) == 19
+
+    def test_exact_fractions(self):
+        expr = const(0.85) * var("x") / var("d")
+        result = evaluate(expr, {"x": Fraction(1), "d": Fraction(2)})
+        assert result == Fraction(17, 40)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            evaluate(var("x") / var("y"), {"x": 1, "y": 0})
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError, match="unbound"):
+            evaluate(var("x") + 1, {})
+
+    def test_negation(self):
+        assert evaluate(-var("x"), {"x": 5}) == -5
+
+    def test_relu_positive(self):
+        assert evaluate(Call("relu", (var("x"),)), {"x": 3}) == 3
+
+    def test_relu_negative(self):
+        assert evaluate(Call("relu", (var("x"),)), {"x": -3}) == 0
+
+    def test_relu_preserves_fraction_type(self):
+        result = evaluate(Call("relu", (var("x"),)), {"x": Fraction(-1, 2)})
+        assert result == 0 and isinstance(result, Fraction)
+
+    def test_tanh(self):
+        result = evaluate(Call("tanh", (var("x"),)), {"x": 1.0})
+        assert result == pytest.approx(math.tanh(1.0))
+
+    def test_abs(self):
+        assert evaluate(Call("abs", (var("x"),)), {"x": -7}) == 7
+
+
+class TestCompileFn:
+    def test_matches_interpreter(self):
+        expr = const(0.85) * var("x") / var("d")
+        fn = compile_fn(expr, ("x", "d"))
+        assert fn(1.0, 2.0) == pytest.approx(0.425)
+
+    def test_positional_argument_order(self):
+        expr = var("a") - var("b")
+        fn = compile_fn(expr, ("a", "b"))
+        assert fn(10, 3) == 7
+        fn_reversed = compile_fn(expr, ("b", "a"))
+        assert fn_reversed(10, 3) == -7
+
+    def test_rejects_unbound_arguments(self):
+        with pytest.raises(EvalError, match="unbound"):
+            compile_fn(var("x") + var("y"), ("x",))
+
+    def test_call_compilation(self):
+        expr = Call("relu", (var("g") * var("p"),)) * var("w")
+        fn = compile_fn(expr, ("g", "p", "w"))
+        assert fn(-1.0, 2.0, 3.0) == 0.0
+        assert fn(1.0, 2.0, 3.0) == 6.0
+
+    def test_integer_constants_stay_integer(self):
+        fn = compile_fn(var("x") + const(1), ("x",))
+        assert fn(2) == 3 and isinstance(fn(2), int)
+
+    @given(x=rationals, y=rationals)
+    def test_compiled_agrees_with_interpreter(self, x, y):
+        expr = (var("x") * 3 - var("y")) * (var("x") + 1)
+        fn = compile_fn(expr, ("x", "y"))
+        assert fn(x, y) == evaluate(expr, {"x": x, "y": y})
+
+
+class TestEvaluateProperties:
+    @given(x=rationals)
+    def test_relu_idempotent(self, x):
+        relu = Call("relu", (var("x"),))
+        once = evaluate(relu, {"x": x})
+        twice = evaluate(relu, {"x": once})
+        assert once == twice
+
+    @given(x=rationals, y=rationals)
+    def test_addition_commutes(self, x, y):
+        left = evaluate(var("x") + var("y"), {"x": x, "y": y})
+        right = evaluate(var("y") + var("x"), {"x": x, "y": y})
+        assert left == right

@@ -1,0 +1,105 @@
+"""Rational canonical forms and algebraic equality proofs."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr import Call, Polynomial, const, evaluate, exprs_equal, rational_form, var
+from repro.expr.simplify import NonRationalError
+
+rationals = st.fractions(min_value=-20, max_value=20, max_denominator=16)
+
+
+class TestPolynomial:
+    def test_constant(self):
+        poly = Polynomial.constant(Fraction(3))
+        assert poly.is_constant() and poly.constant_value() == 3
+
+    def test_zero_is_empty(self):
+        assert Polynomial.constant(Fraction(0)).is_zero()
+
+    def test_addition_cancels(self):
+        x = Polynomial.atom("x")
+        assert (x - x).is_zero()
+
+    def test_multiplication_merges_monomials(self):
+        x = Polynomial.atom("x")
+        square = x * x
+        assert square.degree_in("x") == 2
+
+    def test_coefficient_extraction(self):
+        x = Polynomial.atom("x")
+        three = Polynomial.constant(Fraction(3))
+        poly = x * three + Polynomial.constant(Fraction(5))
+        assert poly.coefficient_of("x", 1).constant_value() == 3
+        assert poly.coefficient_of("x", 0).constant_value() == 5
+
+    def test_mentions(self):
+        x = Polynomial.atom("x")
+        assert x.mentions("x") and not x.mentions("y")
+
+
+class TestExprsEqual:
+    def test_distributive_law(self):
+        x, y, z = var("x"), var("y"), var("z")
+        assert exprs_equal(x * (y + z), x * y + x * z)
+
+    def test_division_cross_multiplication(self):
+        x, d = var("x"), var("d")
+        assert exprs_equal((x + x) / d, 2 * x / d)
+
+    def test_nested_fractions(self):
+        x, d = var("x"), var("d")
+        assert exprs_equal(x / d / 2, x / (2 * d))
+
+    def test_inequality_detected(self):
+        x = var("x")
+        assert not exprs_equal(x * x, x + x)
+
+    def test_pagerank_additivity(self):
+        """The core of Property 2 for PageRank: f(x+y) = f(x)+f(y)."""
+        f = lambda e: const(0.85) * e / var("d")
+        x, y = var("x"), var("y")
+        assert exprs_equal(f(x + y), f(x) + f(y))
+
+    def test_relu_is_opaque_but_consistent(self):
+        x = var("x")
+        relu_x = Call("relu", (x,))
+        assert exprs_equal(relu_x + relu_x, 2 * relu_x)
+        # different arguments -> different atoms -> not provably equal
+        assert not exprs_equal(relu_x, Call("relu", (x + 1,)))
+
+    def test_call_atoms_identified_by_canonical_argument(self):
+        x = var("x")
+        assert exprs_equal(
+            Call("relu", (x + x,)), Call("relu", (2 * x,))
+        )
+
+
+class TestRationalFormErrors:
+    def test_division_by_zero_polynomial(self):
+        x = var("x")
+        with pytest.raises(NonRationalError):
+            rational_form(x / (x - x))
+
+
+class TestSoundness:
+    """A proved equality must hold numerically at random points."""
+
+    @given(x=rationals, y=rationals, d=rationals)
+    def test_proved_identity_holds_numerically(self, x, y, d):
+        if d == 0:
+            return
+        left = const(0.85) * (var("x") + var("y")) / var("d")
+        right = const(0.85) * var("x") / var("d") + const(0.85) * var("y") / var("d")
+        assert exprs_equal(left, right)
+        env = {"x": x, "y": y, "d": d}
+        assert evaluate(left, env) == evaluate(right, env)
+
+    @given(a=rationals, b=rationals)
+    def test_unequal_expressions_differ_somewhere(self, a, b):
+        """(x+a) vs (x+b) are proved equal iff a == b."""
+        left = var("x") + const(a)
+        right = var("x") + const(b)
+        assert exprs_equal(left, right) == (a == b)

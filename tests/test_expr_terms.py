@@ -1,0 +1,117 @@
+"""Expression tree construction and manipulation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.expr import Add, Call, Const, Div, Mul, Neg, Sub, Var, const, var
+
+
+class TestConstruction:
+    def test_const_from_int(self):
+        assert const(3).value == Fraction(3)
+
+    def test_const_from_float_is_exact_decimal(self):
+        assert const(0.85).value == Fraction(17, 20)
+
+    def test_const_from_fraction(self):
+        assert const(Fraction(1, 3)).value == Fraction(1, 3)
+
+    def test_var_name(self):
+        assert var("dx").name == "dx"
+
+    def test_operator_overloading_builds_nodes(self):
+        x, w = var("x"), var("w")
+        expr = (x + w) * 2 - x / w
+        assert isinstance(expr, Sub)
+        assert isinstance(expr.left, Mul)
+        assert isinstance(expr.right, Div)
+
+    def test_reflected_operators(self):
+        x = var("x")
+        assert isinstance(1 + x, Add)
+        assert isinstance(1 - x, Sub)
+        assert isinstance(2 * x, Mul)
+        assert isinstance(2 / x, Div)
+
+    def test_negation(self):
+        assert isinstance(-var("x"), Neg)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError):
+            Call("frobnicate", (var("x"),))
+
+    def test_known_function_accepted(self):
+        call = Call("relu", (var("x"),))
+        assert call.func == "relu"
+
+    def test_non_expression_operand_rejected(self):
+        with pytest.raises(TypeError):
+            var("x") + "not an expression"
+
+
+class TestStructuralEquality:
+    def test_equal_trees_compare_equal(self):
+        assert var("x") + 1 == var("x") + 1
+
+    def test_different_trees_differ(self):
+        assert var("x") + 1 != var("x") + 2
+
+    def test_hashable(self):
+        seen = {var("x") * 2, var("x") * 2}
+        assert len(seen) == 1
+
+
+class TestFreeVars:
+    def test_single_var(self):
+        assert var("x").free_vars() == {"x"}
+
+    def test_nested(self):
+        expr = Call("relu", (var("g") * var("p"),)) * var("w")
+        assert expr.free_vars() == {"g", "p", "w"}
+
+    def test_const_has_none(self):
+        assert const(5).free_vars() == set()
+
+
+class TestSubstitute:
+    def test_replaces_variable(self):
+        expr = var("x") + var("y")
+        replaced = expr.substitute({"x": const(2)})
+        assert replaced == const(2) + var("y")
+
+    def test_accepts_plain_numbers(self):
+        expr = var("x") * var("x")
+        replaced = expr.substitute({"x": 3})
+        assert replaced == Const(Fraction(3)) * Const(Fraction(3))
+
+    def test_substitute_inside_call(self):
+        expr = Call("relu", (var("x"),))
+        replaced = expr.substitute({"x": var("y")})
+        assert replaced == Call("relu", (var("y"),))
+
+    def test_untouched_variables_remain(self):
+        expr = var("x") + var("y")
+        assert expr.substitute({"z": 1}) == expr
+
+
+class TestContainsCall:
+    def test_plain_arithmetic(self):
+        assert not (var("x") * 2 + 1).contains_call()
+
+    def test_with_call(self):
+        assert (Call("tanh", (var("x"),)) * var("w")).contains_call()
+
+
+class TestRepr:
+    def test_integer_const(self):
+        assert repr(const(7)) == "7"
+
+    def test_decimal_const(self):
+        assert repr(const(0.85)) == "0.85"
+
+    def test_expression(self):
+        assert repr(var("a") + var("b")) == "(a + b)"
+
+    def test_call(self):
+        assert repr(Call("relu", (var("x"),))) == "relu(x)"

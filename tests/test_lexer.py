@@ -1,0 +1,95 @@
+"""Tokenizer behaviour, including the tricky number-vs-period cases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog import LexError, tokenize
+from repro.datalog.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, number_value
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punctuation(self):
+        tokens = kinds("sssp(X, d)")
+        assert tokens == [
+            (IDENT, "sssp"),
+            (PUNCT, "("),
+            (IDENT, "X"),
+            (PUNCT, ","),
+            (IDENT, "d"),
+            (PUNCT, ")"),
+        ]
+
+    def test_rule_arrow(self):
+        assert (PUNCT, ":-") in kinds("a(X) :- b(X).")
+
+    def test_comparison_operators(self):
+        tokens = kinds("a <= b >= c != d < e > f = g")
+        punct = [v for k, v in tokens if k == PUNCT]
+        assert punct == ["<=", ">=", "!=", "<", ">", "="]
+
+    def test_string_literal(self):
+        assert (STRING, "label_a") in kinds('p(X, "label_a")')
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == EOF
+
+
+class TestNumbersAndPeriods:
+    def test_decimal_number_keeps_dot(self):
+        tokens = kinds("r = 0.85")
+        assert (NUMBER, "0.85") in tokens
+
+    def test_rule_final_period_after_integer(self):
+        tokens = kinds("d = 0.")
+        assert tokens[-1] == (PUNCT, ".")
+        assert (NUMBER, "0") in tokens
+
+    def test_decimal_then_period(self):
+        tokens = kinds("d = 0.5.")
+        assert (NUMBER, "0.5") in tokens
+        assert tokens[-1] == (PUNCT, ".")
+
+    def test_number_value_exact(self):
+        token = tokenize("0.85")[0]
+        assert number_value(token) == Fraction(17, 20)
+
+    def test_number_value_integer(self):
+        token = tokenize("42")[0]
+        assert number_value(token) == Fraction(42)
+
+
+class TestCommentsAndLabels:
+    def test_percent_comment(self):
+        assert kinds("% a comment\nfoo(X)")[0] == (IDENT, "foo")
+
+    def test_double_slash_comment(self):
+        assert kinds("// c\nfoo(X)")[0] == (IDENT, "foo")
+
+    def test_hash_comment(self):
+        assert kinds("# c\nfoo(X)")[0] == (IDENT, "foo")
+
+    def test_rule_labels_stripped(self):
+        tokens = kinds("r1. sssp(X, d) :- X = 1, d = 0.")
+        assert tokens[0] == (IDENT, "sssp")
+
+    def test_label_mid_source(self):
+        source = "a(X) :- b(X).\nr2. c(X) :- d(X)."
+        names = [v for k, v in kinds(source) if k == IDENT and v.islower()]
+        assert names == ["a", "b", "c", "d"]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a(X) @ b(Y)")
+        assert exc.value.line == 1
+
+    def test_error_reports_line(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a(X).\n$")
+        assert exc.value.line == 2

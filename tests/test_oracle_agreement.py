@@ -1,0 +1,103 @@
+"""Engine results vs independent oracles, for all twelve programs."""
+
+import pytest
+
+from repro import reference
+from repro.engine import MRAEvaluator
+from repro.graphs import random_dag, rmat
+from repro.programs import PROGRAMS, builders
+
+
+def assert_agrees(program: str, graph, oracle: dict, tolerance: float = 1e-4):
+    plan = PROGRAMS[program].plan(graph)
+    values = MRAEvaluator(plan).run().values
+    for key, expected in oracle.items():
+        got = values.get(key)
+        if got is None:
+            assert abs(expected) <= tolerance, (key, expected)
+            continue
+        assert got == pytest.approx(expected, abs=tolerance), (key, got, expected)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(60, 240, seed=9, name="oracle-graph")
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return random_dag(40, 120, seed=10, name="oracle-dag")
+
+
+class TestVertexPrograms:
+    def test_sssp_vs_dijkstra(self, graph):
+        assert_agrees("sssp", graph, reference.dijkstra_sssp(graph), tolerance=0)
+
+    def test_cc_vs_union_find(self, graph):
+        assert_agrees("cc", graph, reference.union_find_components(graph), tolerance=0)
+
+    def test_pagerank_vs_linear_solve(self, graph):
+        assert_agrees("pagerank", graph, reference.dense_pagerank(graph), tolerance=5e-3)
+
+    def test_adsorption_vs_linear_solve(self, graph):
+        assert_agrees(
+            "adsorption", graph, reference.dense_adsorption(graph), tolerance=5e-3
+        )
+
+    def test_katz_vs_linear_solve(self, graph):
+        # scores are O(1000); tolerance is relative to that scale
+        assert_agrees("katz", graph, reference.dense_katz(graph), tolerance=1.0)
+
+
+class TestDagPrograms:
+    def test_path_counts(self, dag):
+        assert_agrees("dag_paths", dag, reference.dag_path_counts(dag), tolerance=0)
+
+    def test_path_costs(self, dag):
+        assert_agrees("cost", dag, reference.dag_path_costs(dag), tolerance=1e-6)
+
+    def test_viterbi(self, dag):
+        assert_agrees("viterbi", dag, reference.viterbi_best_path(dag), tolerance=1e-12)
+
+
+class TestPairPrograms:
+    def test_apsp_vs_floyd_warshall(self):
+        graph = rmat(14, 42, seed=11)
+        assert_agrees("apsp", graph, reference.floyd_warshall_apsp(graph), tolerance=0)
+
+    def test_simrank_vs_matrix_series(self):
+        graph = rmat(14, 42, seed=11)
+        assert_agrees("simrank", graph, reference.simrank_series(graph), tolerance=5e-3)
+
+    def test_bp_vs_linear_solve(self):
+        graph = rmat(25, 80, seed=12)
+        db = builders.bp_db(graph)
+        beliefs0 = {(v, c): b for (v, c, b) in db.relation("beliefs0")}
+        coupling = {(c1, c2): h for (c1, c2, h) in db.relation("h")}
+        oracle = reference.dense_belief_propagation(graph, beliefs0, coupling)
+        assert_agrees("bp", graph, oracle, tolerance=5e-3)
+
+    def test_lca_vs_parent_walk(self):
+        graph = rmat(50, 200, seed=13)
+        db = builders.tree_db(graph)
+        parent_of = {child: parent for (child, parent) in db.relation("parent")}
+        queries = [q for (q,) in db.relation("query")]
+        oracle = reference.lca_ancestor_distances(parent_of, queries)
+        assert_agrees("lca", graph, oracle, tolerance=0)
+
+    def test_lca_recovers_a_common_ancestor(self):
+        graph = rmat(50, 200, seed=13)
+        db = builders.tree_db(graph)
+        parent_of = {child: parent for (child, parent) in db.relation("parent")}
+        queries = [q for (q,) in db.relation("query")]
+        plan = PROGRAMS["lca"].plan(graph)
+        distances = MRAEvaluator(plan).run().values
+        a, b = queries
+        common = {z for (q, z) in distances if q == a} & {
+            z for (q, z) in distances if q == b
+        }
+        assert common, "query vertices share the BFS-tree root"
+        lca = min(common, key=lambda z: distances[(a, z)] + distances[(b, z)])
+        # the LCA must be an ancestor of both by the oracle too
+        oracle = reference.lca_ancestor_distances(parent_of, queries)
+        assert (a, lca) in oracle and (b, lca) in oracle

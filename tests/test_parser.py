@@ -1,0 +1,165 @@
+"""Parser coverage: rules, heads, bodies, termination, assume, errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog import (
+    AggregateSpec,
+    ComparisonAtom,
+    IterationNext,
+    NumberConstant,
+    ParseError,
+    PredicateAtom,
+    TerminationAtom,
+    Variable,
+    Wildcard,
+    parse_program,
+)
+from repro.expr import Call, Var
+from repro.programs import PROGRAMS
+
+
+class TestHeads:
+    def test_plain_head(self, sssp_source):
+        program = parse_program(sssp_source)
+        base = program.rules[0]
+        assert base.head.name == "sssp"
+        assert base.head.aggregate is None
+
+    def test_aggregate_head(self, sssp_source):
+        program = parse_program(sssp_source)
+        recursive = program.rules[1]
+        spec = recursive.head.aggregate
+        assert spec == AggregateSpec("min", "dy")
+
+    def test_iteration_next_in_head(self, pagerank_source):
+        program = parse_program(pagerank_source)
+        recursive = program.rules_for("rank")[1]
+        assert isinstance(recursive.head.terms[0], IterationNext)
+
+    def test_number_constant_head_term(self, pagerank_source):
+        program = parse_program(pagerank_source)
+        base = program.rules_for("rank")[0]
+        assert base.head.terms[0] == NumberConstant(Fraction(0))
+
+
+class TestBodies:
+    def test_multiple_bodies(self, pagerank_source):
+        program = parse_program(pagerank_source)
+        recursive = program.rules_for("rank")[1]
+        assert len(recursive.bodies) == 2
+
+    def test_wildcard(self, cc_source):
+        program = parse_program(cc_source)
+        atom = program.rules[0].bodies[0].predicate_atoms()[0]
+        assert isinstance(atom.terms[1], Wildcard)
+
+    def test_comparison_as_assignment(self, sssp_source):
+        program = parse_program(sssp_source)
+        comparisons = program.rules[0].bodies[0].comparison_atoms()
+        assert len(comparisons) == 2
+        assert all(c.op == "=" for c in comparisons)
+
+    def test_arithmetic_expression(self, sssp_source):
+        program = parse_program(sssp_source)
+        definition = program.rules[1].bodies[0].comparison_atoms()[0]
+        assert definition.left == Var("dy")
+        assert definition.right == Var("dx") + Var("dxy")
+
+    def test_function_call_in_expression(self):
+        program = parse_program(
+            "gcn(Y, sum[g1]) :- gcn(X, g), a(X, Y, w), g1 = relu(g) * w."
+        )
+        definition = program.rules[0].bodies[0].comparison_atoms()[0]
+        assert definition.right == Call("relu", (Var("g"),)) * Var("w")
+
+    def test_negative_constant_term(self):
+        from repro.expr import evaluate
+
+        program = parse_program("p(X, v) :- X = 1, v = -3.")
+        comparison = program.rules[0].bodies[0].comparison_atoms()[1]
+        assert evaluate(comparison.right, {}) == -3
+
+
+class TestTermination:
+    def test_clause_parsed(self, pagerank_source):
+        program = parse_program(pagerank_source)
+        recursive = program.rules_for("rank")[1]
+        clauses = [
+            atom
+            for body in recursive.bodies
+            for atom in body.termination_atoms()
+        ]
+        assert clauses == [
+            TerminationAtom("sum", "delta", "<", Fraction(1, 10000))
+        ]
+
+    def test_rejects_greater_than(self):
+        with pytest.raises(ParseError, match="termination"):
+            parse_program("a(X, sum[v]) :- a(Y, v), e(Y, X), {sum[d] > 1}.")
+
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(ParseError, match="unknown aggregate"):
+            parse_program("a(X, sum[v]) :- a(Y, v), e(Y, X), {median[d] < 1}.")
+
+
+class TestAssume:
+    def test_declaration(self, pagerank_source):
+        program = parse_program(pagerank_source)
+        assert len(program.assumptions) == 1
+        decl = program.assumptions[0]
+        assert (decl.variable, decl.op, decl.bound) == ("d", ">", 0)
+
+    def test_negative_bound(self):
+        program = parse_program("assume x >= -2.\na(X, v) :- X = 1, v = 0.")
+        assert program.assumptions[0].bound == -2
+
+
+class TestFacts:
+    def test_bodyless_rule(self):
+        program = parse_program("seed(3, 0).")
+        rule = program.rules[0]
+        assert not rule.bodies
+        assert rule.head.terms == (
+            NumberConstant(Fraction(3)),
+            NumberConstant(Fraction(0)),
+        )
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("a(X) :- b(X)")
+
+    def test_dangling_body(self):
+        with pytest.raises(ParseError):
+            parse_program("a(X) :- .")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_program("a(X :- b(X).")
+
+    def test_expression_where_term_expected(self):
+        with pytest.raises(ParseError):
+            parse_program("a(X + Y) :- b(X), c(Y).")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("a(X) :-\n ;.")
+        assert exc.value.line == 2
+
+
+class TestAllLibraryProgramsParse:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_parses(self, name):
+        program = PROGRAMS[name].parse()
+        assert program.rules
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_repr_reparses(self, name):
+        """Pretty-printed programs are themselves valid Datalog."""
+        program = PROGRAMS[name].parse()
+        reparsed = parse_program(repr(program), name=name)
+        assert len(reparsed.rules) == len(program.rules)
+        assert reparsed.assumptions == program.assumptions

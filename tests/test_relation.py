@@ -1,0 +1,96 @@
+"""Relation and Database storage."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.relation import Relation
+
+
+class TestRelation:
+    def test_add_deduplicates(self):
+        relation = Relation("edge", 2)
+        assert relation.add((1, 2))
+        assert not relation.add((1, 2))
+        assert len(relation) == 1
+
+    def test_arity_enforced(self):
+        relation = Relation("edge", 2)
+        with pytest.raises(ValueError, match="3-tuple"):
+            relation.add((1, 2, 3))
+
+    def test_extend_counts_new(self):
+        relation = Relation("edge", 2)
+        assert relation.extend([(1, 2), (1, 2), (2, 3)]) == 2
+
+    def test_lookup_by_position(self):
+        relation = Relation("edge", 3, [(1, 2, 10), (1, 3, 20), (2, 3, 30)])
+        rows = relation.lookup([0], (1,))
+        assert sorted(rows) == [(1, 2, 10), (1, 3, 20)]
+
+    def test_lookup_multiple_positions(self):
+        relation = Relation("edge", 3, [(1, 2, 10), (1, 3, 20)])
+        assert relation.lookup([0, 1], (1, 3)) == [(1, 3, 20)]
+
+    def test_lookup_no_positions_scans_all(self):
+        relation = Relation("edge", 2, [(1, 2), (2, 3)])
+        assert len(relation.lookup([], ())) == 2
+
+    def test_index_invalidated_on_mutation(self):
+        relation = Relation("edge", 2, [(1, 2)])
+        assert relation.lookup([0], (1,)) == [(1, 2)]
+        relation.add((1, 3))
+        assert sorted(relation.lookup([0], (1,))) == [(1, 2), (1, 3)]
+
+    def test_replace(self):
+        relation = Relation("edge", 2, [(1, 2)])
+        relation.replace([(5, 6)])
+        assert list(relation) == [(5, 6)]
+
+    def test_clear(self):
+        relation = Relation("edge", 2, [(1, 2)])
+        relation.clear()
+        assert len(relation) == 0
+
+    def test_contains(self):
+        relation = Relation("edge", 2, [(1, 2)])
+        assert (1, 2) in relation and (2, 1) not in relation
+
+
+class TestDatabase:
+    def test_create_and_fetch(self):
+        db = Database()
+        created = db.relation("edge", 2)
+        assert db.relation("edge") is created
+
+    def test_missing_relation(self):
+        with pytest.raises(KeyError):
+            Database().relation("nope")
+
+    def test_arity_conflict(self):
+        db = Database()
+        db.relation("edge", 2)
+        with pytest.raises(ValueError):
+            db.relation("edge", 3)
+
+    def test_add_facts_infers_arity(self):
+        db = Database()
+        db.add_facts("edge", [(1, 2, 5)])
+        assert db.relation("edge").arity == 3
+
+    def test_add_facts_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Database().add_facts("edge", [])
+
+    def test_copy_is_independent(self):
+        db = Database()
+        db.add_facts("edge", [(1, 2)])
+        duplicate = db.copy()
+        duplicate.relation("edge").add((3, 4))
+        assert len(db.relation("edge")) == 1
+        assert len(duplicate.relation("edge")) == 2
+
+    def test_names_sorted(self):
+        db = Database()
+        db.add_facts("z", [(1,)])
+        db.add_facts("a", [(1,)])
+        assert db.names() == ["a", "z"]

@@ -1,0 +1,91 @@
+"""ShardedRun scaffolding and result/counter bookkeeping."""
+
+import pytest
+
+from repro.distributed import Checkpointer, ClusterConfig
+from repro.distributed.sharding import ShardedRun
+from repro.engine import EvalResult, WorkCounters
+from repro.graphs import rmat
+from repro.programs import PROGRAMS
+
+
+@pytest.fixture
+def state():
+    plan = PROGRAMS["sssp"].plan(rmat(40, 160, seed=3))
+    return ShardedRun(plan, ClusterConfig(num_workers=4))
+
+
+class TestShardedRun:
+    def test_every_key_owned_exactly_once(self, state):
+        seen = set()
+        for worker, keys in enumerate(state.shard_keys):
+            assert seen.isdisjoint(keys)
+            seen.update(keys)
+            for key in keys:
+                assert state.owner[key] == worker
+        assert seen == set(state.plan.keys)
+
+    def test_seed_initial_delta_lands_on_owners(self, state):
+        state.seed_initial_delta()
+        for worker, shard in enumerate(state.shards):
+            for key in shard.intermediate:
+                assert state.owner[key] == worker
+        assert state.total_pending() > 0
+
+    def test_merged_values_unions_shards(self, state):
+        state.shards[0].accumulated["only-here"] = 7
+        merged = state.merged_values()
+        assert merged["only-here"] == 7
+
+    def test_global_accumulation_sums_magnitudes(self, state):
+        for shard in state.shards:
+            shard.accumulated.clear()
+        state.shards[0].accumulated[1] = 3
+        state.shards[1].accumulated[2] = -4
+        assert state.global_accumulation() == 7.0
+
+    def test_checkpoint_roundtrip(self, state, tmp_path):
+        state.seed_initial_delta()
+        checkpointer = Checkpointer(tmp_path)
+        state.checkpoint(checkpointer, "run")
+
+        fresh = ShardedRun(state.plan, state.cluster)
+        assert fresh.restore(checkpointer, "run")
+        for original, restored in zip(state.shards, fresh.shards):
+            assert original.accumulated == restored.accumulated
+            assert original.intermediate == restored.intermediate
+
+    def test_restore_missing_returns_false(self, state, tmp_path):
+        assert not state.restore(Checkpointer(tmp_path), "never")
+
+
+class TestWorkCounters:
+    def test_merge_sums_and_maxes(self):
+        a = WorkCounters(iterations=3, fprime_applications=10, messages=2)
+        b = WorkCounters(iterations=5, fprime_applications=7, messages=1)
+        a.merge(b)
+        assert a.iterations == 5  # max: parallel workers share rounds
+        assert a.fprime_applications == 17
+        assert a.messages == 3
+
+    def test_snapshot_roundtrip(self):
+        counters = WorkCounters(updates=4, barriers=2)
+        snapshot = counters.snapshot()
+        assert snapshot["updates"] == 4 and snapshot["barriers"] == 2
+        assert len(snapshot) == 9
+
+
+class TestEvalResult:
+    def test_value_accessor(self):
+        result = EvalResult(values={1: 10}, stop_reason="fixpoint")
+        assert result.value(1) == 10
+        assert result.value(99) is None
+        assert len(result) == 1
+
+    def test_repr_with_and_without_simulated_time(self):
+        bare = EvalResult(values={}, stop_reason="fixpoint", engine="e")
+        assert "simulated" not in repr(bare)
+        timed = EvalResult(
+            values={}, stop_reason="epsilon", simulated_seconds=1.5, engine="e"
+        )
+        assert "simulated=1.500s" in repr(timed)

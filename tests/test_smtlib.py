@@ -1,0 +1,102 @@
+"""SMT-LIB 2 emission (the paper's Figure 4)."""
+
+import re
+
+import pytest
+
+from repro.checker import emit_property2_script
+from repro.checker.smtlib import expr_to_sexpr
+from repro.expr import Call, Interval, const, var
+from repro.programs import PROGRAMS
+
+
+def script_for(name: str) -> str:
+    analysis = PROGRAMS[name].analysis()
+    return emit_property2_script(
+        analysis.aggregate,
+        analysis.fprime,
+        analysis.recursion_var,
+        analysis.domains,
+        program_name=name,
+    )
+
+
+class TestFigure4Structure:
+    """The emitted PageRank script must match the paper's Figure 4."""
+
+    def test_pagerank_declares_parameter(self):
+        script = script_for("pagerank")
+        assert "(declare-const d Real)" in script
+
+    def test_pagerank_asserts_domain(self):
+        script = script_for("pagerank")
+        assert "(assert (> d 0))" in script
+
+    def test_pagerank_defines_g_as_sum(self):
+        script = script_for("pagerank")
+        assert "(define-fun g ((a Real) (b Real)) Real (+ a b))" in script
+
+    def test_pagerank_f_body(self):
+        script = script_for("pagerank")
+        match = re.search(r"\(define-fun f \(\(a Real\)\) Real (.+)\)", script)
+        assert match is not None
+        assert "17.0 20.0" in match.group(1)  # 0.85 as an exact rational
+
+    def test_double_negated_forall(self):
+        script = script_for("pagerank")
+        assert "(assert (not (forall ((x1 Real) (y1 Real) (x2 Real) (y2 Real))" in script
+        assert "(g (f (g x1 y1)) (f (g x2 y2)))" in script
+        assert "(g (g (g (f x1) (f y1)) (f x2)) (f y2))" in script
+
+    def test_ends_with_check_sat(self):
+        assert script_for("pagerank").rstrip().endswith("(check-sat)")
+
+
+class TestOperatorBodies:
+    def test_min_uses_ite(self):
+        assert "(ite (<= a b) a b)" in script_for("sssp")
+
+    def test_relu_defined_for_gcn(self):
+        script = script_for("gcn")
+        assert "(define-fun relu ((v Real)) Real (ite (> v 0) v 0))" in script
+
+    def test_tanh_declared_uninterpreted(self):
+        script = script_for("commnet")
+        assert "(declare-fun tanh (Real) Real)" in script
+
+
+class TestSexprRendering:
+    def test_negative_constant(self):
+        assert expr_to_sexpr(const(-3)) == "(- 3.0)"
+
+    def test_nested_arithmetic(self):
+        rendered = expr_to_sexpr((var("a") + 1) * var("b"))
+        assert rendered == "(* (+ a 1.0) b)"
+
+    def test_call(self):
+        assert expr_to_sexpr(Call("relu", (var("x"),))) == "(relu x)"
+
+    def test_division(self):
+        assert expr_to_sexpr(var("x") / var("d")) == "(/ x d)"
+
+
+class TestAllProgramsEmit:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_script_is_well_formed(self, name):
+        script = script_for(name)
+        assert script.count("(") == script.count(")")
+        assert "(check-sat)" in script
+        assert "(define-fun g " in script
+        assert "(define-fun f " in script
+
+
+class TestDomainsRendering:
+    def test_bounded_domain(self):
+        script = emit_property2_script(
+            PROGRAMS["sssp"].analysis().aggregate,
+            var("x") * var("w"),
+            "x",
+            {"w": Interval(0.0, 1.0)},
+        )
+        assert "(assert (>= w 0))" in script
+        assert "(assert (<= w 1))" in script

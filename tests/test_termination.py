@@ -1,0 +1,64 @@
+"""Two-level termination control."""
+
+from repro.datalog import analyze, parse_program
+from repro.engine import TerminationSpec
+from repro.engine.termination import DEFAULT_MAX_ITERATIONS, TerminationTracker
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = TerminationSpec()
+        assert spec.epsilon is None
+        assert spec.max_iterations == DEFAULT_MAX_ITERATIONS
+
+    def test_from_analysis_with_clause(self, pagerank_source):
+        analysis = analyze(parse_program(pagerank_source))
+        spec = TerminationSpec.from_analysis(analysis)
+        assert spec.epsilon == 1e-4
+        assert spec.comparison == "<"
+
+    def test_from_analysis_without_clause(self, sssp_source):
+        analysis = analyze(parse_program(sssp_source))
+        spec = TerminationSpec.from_analysis(analysis)
+        assert spec.epsilon is None
+
+    def test_epsilon_met_strict(self):
+        spec = TerminationSpec(epsilon=0.1, comparison="<")
+        assert spec.epsilon_met(0.05)
+        assert not spec.epsilon_met(0.1)
+
+    def test_epsilon_met_inclusive(self):
+        spec = TerminationSpec(epsilon=0.1, comparison="<=")
+        assert spec.epsilon_met(0.1)
+
+    def test_no_epsilon_never_met(self):
+        assert not TerminationSpec().epsilon_met(0.0)
+
+
+class TestTracker:
+    def test_continues_while_changing(self):
+        tracker = TerminationTracker(TerminationSpec())
+        tracker.record(changed_keys=5, total_delta=1.0)
+        assert tracker.stop_reason() is None
+
+    def test_fixpoint(self):
+        tracker = TerminationTracker(TerminationSpec())
+        tracker.record(changed_keys=0, total_delta=0.0)
+        assert tracker.stop_reason() == "fixpoint"
+
+    def test_epsilon(self):
+        tracker = TerminationTracker(TerminationSpec(epsilon=0.5))
+        tracker.record(changed_keys=10, total_delta=0.4)
+        assert tracker.stop_reason() == "epsilon"
+
+    def test_iteration_limit(self):
+        tracker = TerminationTracker(TerminationSpec(max_iterations=2))
+        tracker.record(changed_keys=1, total_delta=9.0)
+        assert tracker.stop_reason() is None
+        tracker.record(changed_keys=1, total_delta=9.0)
+        assert tracker.stop_reason() == "iteration-limit"
+
+    def test_fixpoint_takes_precedence(self):
+        tracker = TerminationTracker(TerminationSpec(epsilon=1.0, max_iterations=1))
+        tracker.record(changed_keys=0, total_delta=0.0)
+        assert tracker.stop_reason() == "fixpoint"

@@ -1,0 +1,66 @@
+"""The two programs that fail the check: GCN-Forward and CommNet.
+
+These tests close the loop on the paper's premise: evaluating a
+non-satisfiable program with MRA evaluation *produces wrong results*
+(section 6.1: "evaluating these programs with MRA evaluation will lead
+to incorrect results"), so the automatic check is what makes incremental
+execution safe -- and PowerLog's naive fallback still computes them
+correctly.
+"""
+
+import pytest
+
+from repro.distributed import ClusterConfig
+from repro.engine import MRAEvaluator, NaiveEvaluator, compile_plan
+from repro.graphs import rmat
+from repro.programs import PROGRAMS
+from repro.systems import PowerLog
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(40, 160, seed=95, name="unsat-graph")
+
+
+class TestNaiveEvaluationWorks:
+    @pytest.mark.parametrize("name", ["gcn", "commnet"])
+    def test_converges_under_naive(self, name, graph):
+        spec = PROGRAMS[name]
+        result = NaiveEvaluator(spec.analysis(), spec.build_database(graph)).run()
+        assert result.stop_reason == "epsilon"
+        assert result.values
+
+
+class TestMRAWouldBeWrong:
+    """Why the condition check matters: MRA on GCN diverges from naive."""
+
+    def test_gcn_mra_differs_from_naive(self, graph):
+        spec = PROGRAMS["gcn"]
+        analysis = spec.analysis()
+        db = spec.build_database(graph)
+        naive = NaiveEvaluator(analysis, db).run()
+        mra = MRAEvaluator(compile_plan(analysis, db)).run()
+        worst = max(
+            abs(naive.values[key] - mra.values.get(key, 0.0))
+            for key in naive.values
+        )
+        # the relu non-linearity breaks Property 2: results genuinely differ
+        assert worst > 1e-3, (
+            "MRA accidentally matched naive on GCN -- the negative result "
+            "of section 6.1 should reproduce"
+        )
+
+
+class TestPowerLogFallback:
+    @pytest.mark.parametrize("name", ["gcn", "commnet"])
+    def test_routed_to_naive_and_correct(self, name, graph):
+        spec = PROGRAMS[name]
+        system = PowerLog()
+        decision = system.decide(spec)
+        assert decision.evaluation == "naive"
+
+        expected = NaiveEvaluator(spec.analysis(), spec.build_database(graph)).run()
+        result = system.run(spec, graph, ClusterConfig(num_workers=4))
+        assert "naive" in result.engine
+        for key, value in expected.values.items():
+            assert result.values[key] == pytest.approx(value, abs=2e-3), key

@@ -1,0 +1,60 @@
+"""Result comparison semantics."""
+
+import pytest
+
+from repro.aggregates import MIN, SUM
+from repro.engine import Comparison, compare_results, tolerance_for
+
+
+class TestTolerance:
+    def test_idempotent_exact(self):
+        assert tolerance_for(MIN, {1: 5}) == 0.0
+
+    def test_additive_scale_aware(self):
+        assert tolerance_for(SUM, {1: 1.0}) == pytest.approx(5e-3)
+        assert tolerance_for(SUM, {1: 1000.0}) == pytest.approx(5.0)
+
+    def test_empty_reference(self):
+        assert tolerance_for(SUM, {}) == pytest.approx(5e-3)
+
+
+class TestCompare:
+    def test_exact_match(self):
+        comparison = compare_results({1: 2, 2: 3}, {1: 2, 2: 3}, MIN)
+        assert comparison.ok
+        assert comparison.compared_keys == 2
+        assert "ok" in comparison.summary()
+
+    def test_exact_mismatch(self):
+        comparison = compare_results({1: 2}, {1: 3}, MIN)
+        assert not comparison.ok
+        assert comparison.worst().key == 1
+
+    def test_tolerant_match(self):
+        comparison = compare_results({1: 1.0}, {1: 1.004}, SUM)
+        assert comparison.ok
+
+    def test_tolerant_mismatch(self):
+        comparison = compare_results({1: 1.0}, {1: 1.02}, SUM)
+        assert not comparison.ok
+
+    def test_missing_negligible_key_passes(self):
+        comparison = compare_results({1: 1.0, 2: 1e-6}, {1: 1.0}, SUM)
+        assert comparison.ok
+
+    def test_missing_significant_key_fails(self):
+        comparison = compare_results({1: 1.0, 2: 0.9}, {1: 1.0}, SUM)
+        assert not comparison.ok
+        assert comparison.worst().got is None
+
+    def test_extra_keys_ignored(self):
+        comparison = compare_results({1: 1.0}, {1: 1.0, 99: 7.0}, SUM)
+        assert comparison.ok
+
+    def test_explicit_tolerance_override(self):
+        comparison = compare_results({1: 1.0}, {1: 1.5}, SUM, tolerance=1.0)
+        assert comparison.ok
+
+    def test_summary_reports_counts(self):
+        comparison = compare_results({1: 1.0, 2: 2.0}, {1: 9.0, 2: 2.0}, SUM)
+        assert "1/2 keys differ" in comparison.summary()
