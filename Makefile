@@ -2,13 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench quick-bench examples check clean
+.PHONY: install test chaos bench quick-bench examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# fault-injection suite only (also runs as part of `make test`)
+chaos:
+	$(PYTHON) -m pytest -m chaos tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -10,6 +10,9 @@ Commands:
 * ``experiment NAME``     -- regenerate a paper table/figure
   (``table1``, ``table2``, ``figure1``, ``figure9``, ``figure10``,
   ``figure11``, ``buffers``, ``priority``, ``micro``);
+* ``chaos``               -- run the fault-injection recovery harness:
+  chaotic executions (crashes, drops, duplicates, reordering) must
+  reach the same fixpoint as fault-free references;
 * ``programs``            -- list the fourteen Table-1 programs;
 * ``datasets``            -- list the Table-2 dataset stand-ins.
 """
@@ -155,6 +158,43 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.distributed.chaos_harness import (
+        DEFAULT_PROGRAMS,
+        format_matrix,
+        run_matrix,
+    )
+
+    programs = args.programs or list(DEFAULT_PROGRAMS)
+    engines = args.engines or ["sync", "async"]
+    schedule_kwargs = {}
+    if args.drop is not None:
+        schedule_kwargs["drop_rate"] = args.drop
+    if args.duplicate is not None:
+        schedule_kwargs["duplicate_rate"] = args.duplicate
+    if args.crash_at:
+        schedule_kwargs["crash_fractions"] = tuple(args.crash_at)
+    try:
+        reports = run_matrix(
+            programs=tuple(programs),
+            engines=tuple(engines),
+            num_workers=args.workers,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            schedule_kwargs=schedule_kwargs or None,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(format_matrix(reports))
+    if args.verbose:
+        for report in reports:
+            print(f"\n{report.program} / {report.engine}: {report.schedule}")
+            for key, value in sorted(report.stats.items()):
+                if value:
+                    print(f"  {key}: {value}")
+    return 0 if all(report.agreed for report in reports) else 1
+
+
 def cmd_programs(_: argparse.Namespace) -> int:
     print(f"{'name':12s} {'title':24s} {'aggregator':10s} {'MRA sat.':8s} benchmarked")
     for name, spec in PROGRAMS.items():
@@ -215,6 +255,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rewrite.add_argument("target", help="Datalog file or library program name")
     rewrite.set_defaults(func=cmd_rewrite)
+
+    chaos = commands.add_parser(
+        "chaos", help="run the fault-injection recovery harness"
+    )
+    chaos.add_argument(
+        "--programs",
+        nargs="*",
+        choices=sorted(PROGRAMS),
+        help="programs to subject to faults (default: sssp dag_paths pagerank)",
+    )
+    chaos.add_argument(
+        "--engines",
+        nargs="*",
+        choices=["sync", "async", "unified", "aap"],
+        help="engines to run (default: sync async)",
+    )
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--drop", type=float, help="message drop probability (default 0.02)"
+    )
+    chaos.add_argument(
+        "--duplicate", type=float, help="duplicate-delivery probability (default 0.01)"
+    )
+    chaos.add_argument(
+        "--crash-at",
+        type=float,
+        nargs="*",
+        help="crash times as fractions of the fault-free duration (default 0.35)",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir",
+        help="enable disk checkpoints for the chaotic runs in this directory",
+    )
+    chaos.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-run fault counters"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     programs = commands.add_parser("programs", help="list the Table-1 programs")
     programs.set_defaults(func=cmd_programs)

@@ -29,12 +29,32 @@ Engines:
 
 from repro.distributed.cluster import ClusterConfig, CostModel
 from repro.distributed.partition import HashPartitioner, stable_hash
-from repro.distributed.buffers import AdaptiveBuffer, BufferPolicy, FixedBuffer
+from repro.distributed.buffers import (
+    AdaptiveBuffer,
+    BufferPolicy,
+    FixedBuffer,
+    RetransmitBuffer,
+)
+from repro.distributed.chaos import (
+    FaultInjector,
+    FaultSchedule,
+    FaultStats,
+    Partition,
+    Straggler,
+    WorkerCrash,
+)
 from repro.distributed.sync_engine import SyncEngine
 from repro.distributed.async_engine import AsyncEngine
 from repro.distributed.unified import UnifiedEngine
 from repro.distributed.aap import AAPEngine
-from repro.distributed.fault import Checkpointer
+from repro.distributed.fault import Checkpointer, CheckpointMismatchError
+from repro.distributed.chaos_harness import (
+    ChaosReport,
+    format_matrix,
+    run_chaos,
+    run_matrix,
+    schedule_for,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -44,9 +64,22 @@ __all__ = [
     "AdaptiveBuffer",
     "BufferPolicy",
     "FixedBuffer",
+    "RetransmitBuffer",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultStats",
+    "Partition",
+    "Straggler",
+    "WorkerCrash",
     "SyncEngine",
     "AsyncEngine",
     "UnifiedEngine",
     "AAPEngine",
     "Checkpointer",
+    "CheckpointMismatchError",
+    "ChaosReport",
+    "run_chaos",
+    "run_matrix",
+    "schedule_for",
+    "format_matrix",
 ]

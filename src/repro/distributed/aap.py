@@ -41,6 +41,10 @@ class AAPEngine(AsyncEngine):
         stream_batch: int = 64,
         block_batch: int = 512,
         termination: Optional[TerminationSpec] = None,
+        checkpointer=None,
+        checkpoint_interval: float = 0.0,
+        run_name: str = "aap-run",
+        recovery: str = "auto",
     ):
         policy = BufferPolicy(
             initial_beta=fixed_buffer_size, adaptive=False
@@ -51,6 +55,10 @@ class AAPEngine(AsyncEngine):
             buffer_policy=policy,
             batch_size=stream_batch,
             termination=termination,
+            checkpointer=checkpointer,
+            checkpoint_interval=checkpoint_interval,
+            run_name=run_name,
+            recovery=recovery,
         )
         self.stream_batch = stream_batch
         self.block_batch = block_batch

@@ -16,6 +16,29 @@ float tolerance (sum).
 Simulated time is the event clock: worker busy time is measured work
 (tuples, message CPU, bandwidth) divided by per-worker speed; message
 delivery is delayed by latency plus payload bandwidth.
+
+Fault injection (``cluster.faults``, see :mod:`repro.distributed.chaos`)
+wires failure into the same event clock:
+
+* every message carries a per-destination sequence number and is held in
+  a :class:`~repro.distributed.buffers.RetransmitBuffer` until acked;
+  drops and partitions are recovered by exponential-backoff
+  retransmission, duplicates are absorbed by ``g``-combining (idempotent
+  aggregates) or suppressed by per-sender sequence dedup (additive
+  ones);
+* scheduled worker crashes lose all volatile state; recovery restores
+  the shard from its latest :class:`~repro.distributed.fault.Checkpointer`
+  checkpoint (or reseeds it from the constant part ``C``) and replays
+  boundary deltas from the live workers' accumulated columns -- sound
+  for idempotent aggregates, where re-derivation is absorbed.  For
+  non-idempotent aggregates a crash instead triggers a coordinated
+  rollback to the latest globally consistent snapshot, because replayed
+  sums would double count (DESIGN.md, "Fault model and recovery
+  guarantees");
+* periodic event-clock checkpoints (``checkpoint_interval`` simulated
+  seconds) extend the sync engine's Figure-6 checkpointing to the
+  asynchronous engine, both on disk (when a checkpointer is given) and
+  as the in-memory snapshots the rollback path restores.
 """
 
 from __future__ import annotations
@@ -24,7 +47,13 @@ import heapq
 import itertools
 from typing import Optional
 
-from repro.distributed.buffers import AdaptiveBuffer, BufferPolicy, FixedBuffer
+from repro.distributed.buffers import (
+    AdaptiveBuffer,
+    BufferPolicy,
+    FixedBuffer,
+    RetransmitBuffer,
+)
+from repro.distributed.chaos import injector_for
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
@@ -45,7 +74,13 @@ class AsyncEngine:
         batch_size: Optional[int] = None,
         importance_threshold: Optional[float] = None,
         termination: Optional[TerminationSpec] = None,
+        checkpointer=None,
+        checkpoint_interval: float = 0.0,
+        run_name: str = "async-run",
+        recovery: str = "auto",
     ):
+        if recovery not in ("auto", "local", "global"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
         self.plan = plan
         self.cluster = cluster or ClusterConfig()
         self.buffer_policy = buffer_policy or BufferPolicy(adaptive=False)
@@ -58,6 +93,18 @@ class AsyncEngine:
         self.batch_size = batch_size
         self.importance_threshold = importance_threshold
         self.termination = termination or plan.termination
+        #: optional fault tolerance: every ``checkpoint_interval``
+        #: simulated seconds each shard is persisted; a rerun with the
+        #: same ``run_name`` resumes from the checkpoint, and crash
+        #: recovery restores from it mid-run.
+        self.checkpointer = checkpointer
+        self.checkpoint_interval = checkpoint_interval
+        self.run_name = run_name
+        #: crash-recovery strategy: ``local`` (restore one shard +
+        #: Theorem-3 replay, sound for idempotent aggregates), ``global``
+        #: (coordinated rollback, required for additive aggregates), or
+        #: ``auto`` to pick by aggregate class.
+        self.recovery = recovery
 
     # -- extension hooks --------------------------------------------------------
     def _make_buffer(self):
@@ -82,7 +129,11 @@ class AsyncEngine:
         cost = cluster.cost
         num_workers = cluster.num_workers
         state = ShardedRun(plan, cluster)
-        state.seed_initial_delta()
+        restored = False
+        if self.checkpointer is not None:
+            restored = state.restore(self.checkpointer, self.run_name)
+        if not restored:
+            state.seed_initial_delta()
         counters = state.counters
         aggregate = plan.aggregate
         combine = aggregate.combine
@@ -90,6 +141,16 @@ class AsyncEngine:
         shards = state.shards
         speeds = state.speeds
         selective = aggregate.is_idempotent
+
+        chaos = injector_for(cluster)
+        recovery_mode = self.recovery
+        if recovery_mode == "auto":
+            recovery_mode = "local" if selective else "global"
+        checkpoint_interval = self.checkpoint_interval
+        if checkpoint_interval <= 0 and (
+            chaos is not None or self.checkpointer is not None
+        ):
+            checkpoint_interval = cost.termination_interval
 
         buffers = [
             {target: self._make_buffer() for target in range(num_workers) if target != w}
@@ -101,6 +162,34 @@ class AsyncEngine:
         progress_magnitude = 0.0
         progress_updates = 0
 
+        # -- chaos state (all unused on the fault-free path) -------------------
+        if chaos is not None:
+            schedule_cfg = cluster.faults
+            down = [False] * num_workers
+            seq_next = [[0] * num_workers for _ in range(num_workers)]
+            retrans = [
+                {
+                    target: RetransmitBuffer(
+                        schedule_cfg.retransmit_timeout,
+                        schedule_cfg.retransmit_backoff,
+                        schedule_cfg.max_retransmit_timeout,
+                    )
+                    for target in range(num_workers)
+                    if target != w
+                }
+                for w in range(num_workers)
+            ]
+            #: seen[target][sender] -> sequence numbers already applied
+            seen = [
+                [set() for _ in range(num_workers)] for _ in range(num_workers)
+            ]
+            remaining_crashes = sorted(
+                schedule_cfg.crashes, key=lambda crash: crash.at
+            )
+        else:
+            down = retrans = seen = None
+            remaining_crashes = []
+
         heap: list = []
         sequence = itertools.count()
 
@@ -108,14 +197,54 @@ class AsyncEngine:
             heapq.heappush(heap, (time, next(sequence), kind, data))
 
         def schedule_worker(worker: int, time: float):
+            if chaos is not None and down[worker]:
+                return
             if not scheduled[worker]:
                 scheduled[worker] = True
                 schedule(max(time, busy_until[worker]), "process", worker)
+
+        # -- transmission: the only way a payload crosses workers ---------------
+        def transmit(worker: int, target: int, payload: dict, send_time: float):
+            nonlocal inflight
+            counters.messages += 1
+            counters.message_tuples += len(payload)
+            if chaos is None:
+                schedule(send_time + cost.message_latency, "deliver", (target, payload))
+                inflight += 1
+                return
+            seq = seq_next[worker][target]
+            seq_next[worker][target] = seq + 1
+            rbuffer = retrans[worker][target]
+            rbuffer.track(seq, payload)
+            schedule(send_time + rbuffer.timeout(1), "rto", (worker, target, seq, 1))
+            launch(worker, target, seq, payload, send_time)
+
+        def launch(sender: int, target: int, seq: int, payload: dict, send_time: float):
+            """One transmission attempt, with its injected fate."""
+            nonlocal inflight
+            if down[target] or chaos.drops(sender, target, send_time):
+                chaos.stats.dropped_messages += 1
+                return
+            delay = cost.message_latency + chaos.extra_latency()
+            schedule(send_time + delay, "deliver", (target, payload, sender, seq))
+            inflight += 1
+            if chaos.duplicates():
+                chaos.stats.duplicated_messages += 1
+                schedule(
+                    send_time + delay + chaos.extra_latency(),
+                    "deliver",
+                    (target, payload, sender, seq),
+                )
+                inflight += 1
 
         for worker in range(num_workers):
             if shards[worker].has_pending():
                 schedule_worker(worker, worker * 1e-6)
         schedule(cost.termination_interval, "master", None)
+        if checkpoint_interval > 0:
+            schedule(checkpoint_interval, "ckpt", None)
+        for crash in remaining_crashes:
+            schedule(crash.at, "crash", crash)
 
         tracker = TerminationTracker(self.termination)
         draw_transient = cluster.transient_stream(salt=3)
@@ -154,7 +283,6 @@ class AsyncEngine:
 
         def flush_ready_buffers(worker: int, time: float) -> float:
             """Flush every buffer that is full or stale; returns new time."""
-            nonlocal inflight
             for target, buffer in buffers[worker].items():
                 if buffer.should_flush(time):
                     payload = buffer.flush(time)
@@ -163,10 +291,7 @@ class AsyncEngine:
                         cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
                     ) / speeds[worker]
                     time += send_cpu
-                    schedule(time + cost.message_latency, "deliver", (target, payload))
-                    inflight += 1
-                    counters.messages += 1
-                    counters.message_tuples += len(payload)
+                    transmit(worker, target, payload, time)
             return time
 
         def schedule_timer_if_buffered(worker: int, time: float) -> None:
@@ -174,8 +299,10 @@ class AsyncEngine:
                 schedule(time + self.buffer_policy.tau, "timer", worker)
 
         def handle_process(worker: int, time: float) -> None:
-            nonlocal inflight, progress_magnitude, progress_updates
+            nonlocal progress_magnitude, progress_updates
             scheduled[worker] = False
+            if chaos is not None and down[worker]:
+                return
             shard = shards[worker]
             if not shard.has_pending():
                 return
@@ -195,7 +322,7 @@ class AsyncEngine:
                 # real engines flush a full buffer mid-stream: the size
                 # knob beta is exactly the communication frequency the
                 # unified engine adapts (section 5.3)
-                nonlocal inflight, send_cpu_total
+                nonlocal send_cpu_total
                 moment = time + ops * cost.tuple_cost / speeds[worker]
                 payload = buffer.flush(moment)
                 buffer.observe_flush(moment)
@@ -203,14 +330,7 @@ class AsyncEngine:
                     cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
                 ) / speeds[worker]
                 send_cpu_total += send_cpu
-                schedule(
-                    moment + send_cpu + cost.message_latency,
-                    "deliver",
-                    (target, payload),
-                )
-                inflight += 1
-                counters.messages += 1
-                counters.message_tuples += len(payload)
+                transmit(worker, target, payload, moment + send_cpu)
 
             for key in batch:
                 tmp = shard.fetch_and_reset(key)
@@ -237,8 +357,11 @@ class AsyncEngine:
                             eager_flush(target, buffer)
             counters.fprime_applications += ops
             self._observe_processing(worker, len(batch))
+            stretch = draw_transient()
+            if chaos is not None:
+                stretch *= chaos.slowdown(worker, time)
             compute = (
-                ops * cost.tuple_cost * draw_transient() / speeds[worker]
+                ops * cost.tuple_cost * stretch / speeds[worker]
                 + send_cpu_total
             )
             finish = flush_ready_buffers(worker, time + compute)
@@ -252,7 +375,27 @@ class AsyncEngine:
         def handle_deliver(data, time: float) -> None:
             nonlocal inflight
             inflight -= 1
-            target, payload = data
+            if chaos is None:
+                target, payload = data
+            else:
+                target, payload, sender, seq = data
+                if down[target]:
+                    # lost on a dead worker; the sender's rto re-sends it
+                    chaos.stats.dropped_messages += 1
+                    return
+                # ack the delivery (acks can be lost too; the rto covers it)
+                if chaos.drops(target, sender, time):
+                    chaos.stats.dropped_messages += 1
+                else:
+                    schedule(time + cost.message_latency, "ack", (sender, target, seq))
+                if seq in seen[target][sender]:
+                    chaos.stats.duplicates_absorbed += 1
+                    if not selective:
+                        # non-idempotent aggregates must not re-apply; the
+                        # idempotent path falls through and lets g absorb
+                        return
+                else:
+                    seen[target][sender].add(seq)
             shard = shards[target]
             for dst, value in payload.items():
                 shard.push(dst, value)
@@ -260,12 +403,214 @@ class AsyncEngine:
             self._observe_delivery(target, len(payload))
             schedule_worker(target, time)
 
+        def handle_ack(data, time: float) -> None:
+            sender, target, seq = data
+            if down[sender]:
+                return  # the sender's retransmit state died with it
+            retrans[sender][target].ack(seq)
+
+        def handle_rto(data, time: float) -> None:
+            sender, target, seq, attempt = data
+            if down[sender]:
+                return
+            rbuffer = retrans[sender][target]
+            payload = rbuffer.get(seq)
+            if payload is None:
+                return  # acked in the meantime
+            chaos.stats.retransmits += 1
+            launch(sender, target, seq, payload, time)
+            schedule(
+                time + rbuffer.timeout(attempt + 1),
+                "rto",
+                (sender, target, seq, attempt + 1),
+            )
+
+        # -- checkpoints and the two recovery strategies ------------------------
+        latest_snapshot: list = [None]
+
+        def take_snapshot() -> dict:
+            return {
+                "shards": [
+                    (dict(s.accumulated), dict(s.intermediate)) for s in shards
+                ],
+                "buffers": [
+                    {
+                        t: (dict(b.pending), b.pending_count, b.last_flush_time, b.beta)
+                        for t, b in worker_buffers.items()
+                    }
+                    for worker_buffers in buffers
+                ],
+                "retrans": [
+                    {t: dict(r.unacked) for t, r in worker_retrans.items()}
+                    for worker_retrans in retrans
+                ],
+                "seq_next": [list(row) for row in seq_next],
+                "seen": [[set(s) for s in row] for row in seen],
+                "progress": (progress_updates, progress_magnitude, prev_global),
+            }
+
+        if chaos is not None and recovery_mode == "global":
+            latest_snapshot[0] = take_snapshot()
+
+        def handle_ckpt(time: float) -> None:
+            if chaos is not None and any(down):
+                # a shard is a hole right now; try again next interval
+                schedule(time + checkpoint_interval, "ckpt", None)
+                return
+            if self.checkpointer is not None:
+                state.checkpoint(self.checkpointer, self.run_name)
+            if chaos is not None:
+                if recovery_mode == "global":
+                    latest_snapshot[0] = take_snapshot()
+                chaos.stats.checkpoints += 1
+            schedule(time + checkpoint_interval, "ckpt", None)
+
+        def handle_crash(crash, time: float) -> None:
+            worker = crash.worker
+            remaining_crashes.remove(crash)
+            if down[worker]:
+                return  # already dead; the scheduled crash is moot
+            chaos.stats.crashes += 1
+            if recovery_mode == "global":
+                rollback(time, crash.restart_after)
+                return
+            down[worker] = True
+            scheduled[worker] = False
+            busy_until[worker] = time
+            # everything volatile dies: shard, send buffers, retransmit
+            # state, dedup state
+            for buffer in buffers[worker].values():
+                buffer.flush(time)
+            for rbuffer in retrans[worker].values():
+                rbuffer.clear()
+            for sender_seen in seen[worker]:
+                sender_seen.clear()
+            state.shards[worker] = type(shards[worker])(
+                aggregate, {}, keys=state.shard_keys[worker]
+            )
+            schedule(time + crash.restart_after, "restart", worker)
+
+        def handle_restart(worker: int, time: float) -> None:
+            """Local recovery: checkpoint (or ``C``) restore + Theorem-3 replay."""
+            down[worker] = False
+            restored_shard = False
+            if self.checkpointer is not None:
+                restored_shard = state.restore_shard_state(
+                    self.checkpointer, self.run_name, worker
+                )
+            if not restored_shard:
+                state.reseed_shard(worker)
+            chaos.stats.recoveries += 1
+            # every live worker re-derives the deltas that cross the
+            # crashed worker's boundary from its *accumulated* column;
+            # re-delivery is absorbed by g-combining (idempotent
+            # aggregates only -- additive ones take the rollback path)
+            for peer in range(num_workers):
+                if down[peer]:
+                    continue
+                source = shards[peer]
+                outbound: dict[int, dict] = {}
+                ops = 0
+                for key, value in source.accumulated.items():
+                    if value is None:
+                        continue
+                    for dst, params, fn in plan.edges_from(key):
+                        target = owner[dst]
+                        if peer != worker and target != worker:
+                            continue  # only edges touching the crashed worker
+                        contribution = fn(value, *params)
+                        ops += 1
+                        chaos.stats.replayed_tuples += 1
+                        if target == peer:
+                            source.push(dst, contribution)
+                            counters.combines += 1
+                        else:
+                            box = outbound.setdefault(target, {})
+                            if dst in box:
+                                box[dst] = combine(box[dst], contribution)
+                            else:
+                                box[dst] = contribution
+                if ops:
+                    counters.fprime_applications += ops
+                    send_time = (
+                        max(time, busy_until[peer])
+                        + ops * cost.tuple_cost / speeds[peer]
+                    )
+                    busy_until[peer] = send_time
+                    for target, payload in outbound.items():
+                        transmit(peer, target, payload, send_time)
+                if source.has_pending():
+                    schedule_worker(peer, max(time, busy_until[peer]))
+
+        def rollback(time: float, restart_after: float) -> None:
+            """Coordinated recovery: every worker returns to the latest
+            globally consistent snapshot; the clock keeps moving forward."""
+            nonlocal inflight, progress_updates, progress_magnitude, prev_global
+            chaos.stats.recoveries += 1
+            chaos.stats.rollbacks += 1
+            snap = latest_snapshot[0]
+            resume = time + restart_after
+            for w, (acc, inter) in enumerate(snap["shards"]):
+                shards[w].accumulated = dict(acc)
+                shards[w].intermediate = dict(inter)
+            for w, snap_buffers in enumerate(snap["buffers"]):
+                for t, (pending, count, last_flush, beta) in snap_buffers.items():
+                    buffer = buffers[w][t]
+                    buffer.pending = dict(pending)
+                    buffer.pending_count = count
+                    buffer.last_flush_time = last_flush
+                    buffer.beta = beta
+            for w, snap_retrans in enumerate(snap["retrans"]):
+                for t, unacked in snap_retrans.items():
+                    retrans[w][t].unacked = dict(unacked)
+            for w in range(num_workers):
+                seq_next[w][:] = snap["seq_next"][w]
+                seen[w] = [set(s) for s in snap["seen"][w]]
+            progress_updates, progress_magnitude, prev_global = snap["progress"]
+            # every queued event refers to pre-rollback state: wipe the
+            # future and rebuild it from the restored state
+            heap.clear()
+            inflight = 0
+            for w in range(num_workers):
+                scheduled[w] = False
+                busy_until[w] = resume
+                down[w] = False
+            for w in range(num_workers):
+                for t, rbuffer in retrans[w].items():
+                    for seq in rbuffer.unacked:
+                        schedule(resume + rbuffer.timeout(1), "rto", (w, t, seq, 1))
+                if shards[w].has_pending():
+                    schedule_worker(w, resume)
+                if any(b.pending for b in buffers[w].values()):
+                    schedule(resume + self.buffer_policy.tau, "timer", w)
+            for crash in remaining_crashes:
+                schedule(max(crash.at, resume), "crash", crash)
+            if checkpoint_interval > 0:
+                schedule(resume + checkpoint_interval, "ckpt", None)
+            schedule(resume + cost.termination_interval, "master", None)
+
         def handle_timer(worker: int, time: float) -> None:
+            if chaos is not None and down[worker]:
+                return
             finish = flush_ready_buffers(worker, time)
             schedule_timer_if_buffered(worker, finish)
 
+        def net_quiet() -> bool:
+            """No lost-but-unacked deltas and no dead workers."""
+            if chaos is None:
+                return True
+            if any(down):
+                return False
+            return not any(
+                rbuffer.pending
+                for worker_retrans in retrans
+                for rbuffer in worker_retrans.values()
+            )
+
         def quiescent() -> bool:
             if inflight:
+                return False
+            if not net_quiet():
                 return False
             if any(shard.has_pending() for shard in shards):
                 return False
@@ -275,19 +620,29 @@ class AsyncEngine:
                 for buffer in worker_buffers.values()
             )
 
-        work_events_since_check = 0
+        idle_checks = 0
         while heap and stop is None:
             now, _, kind, data = heapq.heappop(heap)
             if kind == "process":
                 handle_process(data, now)
                 last_activity = max(last_activity, busy_until[data])
-                work_events_since_check += 1
             elif kind == "deliver":
                 handle_deliver(data, now)
                 last_activity = max(last_activity, now)
-                work_events_since_check += 1
             elif kind == "timer":
                 handle_timer(data, now)
+            elif kind == "ack":
+                handle_ack(data, now)
+            elif kind == "rto":
+                handle_rto(data, now)
+            elif kind == "ckpt":
+                handle_ckpt(now)
+            elif kind == "crash":
+                handle_crash(data, now)
+                last_activity = max(last_activity, now)
+            elif kind == "restart":
+                handle_restart(data, now)
+                last_activity = max(last_activity, now)
             elif kind == "master":
                 if quiescent():
                     counters.iterations += 1
@@ -299,26 +654,38 @@ class AsyncEngine:
                     for buffer in worker_buffers.values()
                 )
                 # "idle" requires genuinely nothing in flight anywhere:
-                # no messages travelling, no worker scheduled, and no
-                # updates sitting in a send buffer waiting for its timer.
-                all_idle = inflight == 0 and not any(scheduled) and not buffered
+                # no messages travelling, no worker scheduled, no updates
+                # sitting in a send buffer waiting for its timer, and --
+                # under fault injection -- no unacked message awaiting a
+                # retransmit and no crashed worker awaiting restart.
+                all_idle = (
+                    inflight == 0
+                    and not any(scheduled)
+                    and not buffered
+                    and net_quiet()
+                )
                 if progress_updates == 0 and not all_idle:
                     # workers are mid-burst (or only deliveries landed):
                     # the accumulation column has not moved since the
                     # last check, so comparing two identical snapshots
                     # would fake convergence.  Wait for the clock to
                     # catch up with the busy workers.
+                    idle_checks += 1
+                    if idle_checks > self.termination.max_iterations:
+                        stop = "iteration-limit"
+                        break
                     schedule(now + cost.termination_interval, "master", None)
                     continue
+                idle_checks = 0
                 counters.iterations += 1
                 tracker.record(progress_updates, progress_magnitude)
                 progress_updates = 0
                 progress_magnitude = 0.0
-                work_events_since_check = 0
                 current_global = state.global_accumulation()
                 epsilon_reached = (
                     self.termination.epsilon is not None
                     and prev_global is not None
+                    and net_quiet()
                     and self.termination.epsilon_met(abs(current_global - prev_global))
                 )
                 if epsilon_reached or (
@@ -348,4 +715,5 @@ class AsyncEngine:
             simulated_seconds=finished_at,
             engine=self.engine_name,
             trace=tracker.history,
+            faults=chaos.stats if chaos is not None else None,
         )

@@ -67,6 +67,51 @@ class FixedBuffer:
         """Hook for adaptive subclasses; fixed buffers do nothing."""
 
 
+class RetransmitBuffer:
+    """Unacked-message store backing the chaos layer's reliable delivery.
+
+    Sits next to the flush buffers: every transmitted message is tracked
+    under its per-destination sequence number until the receiver's ack
+    arrives; an ack timeout retransmits with exponential backoff.  The
+    payload keeps its original sequence number across retries so the
+    receiver can deduplicate (non-idempotent aggregates) or absorb
+    (idempotent aggregates) redundant deliveries.
+    """
+
+    def __init__(self, base_timeout: float, backoff: float = 2.0, max_timeout: float = 8e-2):
+        self.base_timeout = base_timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.unacked: dict = {}
+
+    def track(self, seq: int, payload: dict) -> None:
+        self.unacked[seq] = payload
+
+    def ack(self, seq: int) -> None:
+        self.unacked.pop(seq, None)
+
+    def get(self, seq: int):
+        """The payload still awaiting an ack, or ``None`` once acked."""
+        return self.unacked.get(seq)
+
+    def timeout(self, attempt: int) -> float:
+        """Backed-off ack timeout for the given attempt (1-based)."""
+        return min(
+            self.base_timeout * self.backoff ** max(0, attempt - 1),
+            self.max_timeout,
+        )
+
+    @property
+    def pending(self) -> bool:
+        return bool(self.unacked)
+
+    def clear(self) -> None:
+        self.unacked.clear()
+
+    def __len__(self):
+        return len(self.unacked)
+
+
 class AdaptiveBuffer(FixedBuffer):
     """The paper's adaptive buffer: ``beta`` follows the update pace."""
 

@@ -12,8 +12,11 @@ the absolute values; EXPERIMENTS.md records the calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 import numpy as np
+
+from repro.distributed.chaos import FaultSchedule
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,11 @@ class ClusterConfig:
     #: section 5.3.
     transient_jitter: float = 0.5
     seed: int = 42
+    #: deterministic fault-injection schedule (``None`` = fault-free);
+    #: when set, the engines route every message through the chaos
+    #: layer's ack/retransmit/dedup path and run the scheduled crashes
+    #: and recoveries (see :mod:`repro.distributed.chaos`)
+    faults: Optional[FaultSchedule] = None
 
     def worker_speeds(self) -> list[float]:
         """Deterministic relative speeds centred on 1.0."""
@@ -97,6 +105,11 @@ class ClusterConfig:
 
     def with_cost(self, **kwargs) -> "ClusterConfig":
         return replace(self, cost=self.cost.with_overrides(**kwargs))
+
+    def with_faults(self, faults: Optional[FaultSchedule]) -> "ClusterConfig":
+        if faults is not None:
+            faults.validate(self.num_workers)
+        return replace(self, faults=faults)
 
 
 #: canonical cluster used by the benchmark harness (paper section 6.2)

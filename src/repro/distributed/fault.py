@@ -6,15 +6,36 @@ restore a run after a simulated worker failure.  Because MRA state is a
 pair of per-key aggregates (accumulation + intermediate), a checkpoint
 is simply both columns; restoring and continuing evaluation reaches the
 same fixpoint by Theorem 3 (any delta re-delivery is ``g``-combined).
+
+Robustness guarantees of the on-disk format:
+
+* writes are **atomic** (temp file + ``os.replace``), so a crash
+  mid-write can never leave a truncated JSON that poisons the next
+  restore;
+* an unreadable or unparseable checkpoint is treated as "no checkpoint"
+  with a warning -- recovery falls back to reseeding -- rather than
+  raising into the engine;
+* checkpoints carry **run-compatibility metadata** (program name,
+  ``num_workers``, shard id, schema version); restoring into an
+  incompatible run fails loudly with :class:`CheckpointMismatchError`
+  instead of silently loading wrong keys into wrong shards.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Union
+import warnings
+from typing import Optional, Union
 
 from repro.engine.monotable import MonoTable
+
+#: bump when the on-disk payload layout changes incompatibly
+CHECKPOINT_SCHEMA_VERSION = 2
+
+
+class CheckpointMismatchError(ValueError):
+    """A checkpoint exists but belongs to an incompatible run."""
 
 
 def _encode_key(key) -> str:
@@ -40,10 +61,25 @@ class Checkpointer:
     def _path(self, run_name: str, shard_id: int) -> str:
         return os.path.join(self.directory, f"{run_name}.shard{shard_id}.json")
 
-    def save_shard(self, run_name: str, shard_id: int, table: MonoTable) -> str:
-        """Checkpoint one shard's accumulation and intermediate columns."""
+    def save_shard(
+        self,
+        run_name: str,
+        shard_id: int,
+        table: MonoTable,
+        meta: Optional[dict] = None,
+    ) -> str:
+        """Checkpoint one shard's accumulation and intermediate columns.
+
+        ``meta`` records run-compatibility facts (program name,
+        ``num_workers``, ...) that :meth:`restore_shard` validates.  The
+        write is atomic: a crash mid-write leaves the previous checkpoint
+        intact.
+        """
         payload = {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
             "aggregate": table.aggregate.name,
+            "shard_id": shard_id,
+            "meta": dict(meta) if meta else {},
             "accumulated": {
                 _encode_key(k): v for k, v in table.accumulated.items()
             },
@@ -52,26 +88,70 @@ class Checkpointer:
             },
         }
         path = self._path(run_name, shard_id)
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
+        os.replace(tmp_path, path)
         return path
 
-    def restore_shard(self, run_name: str, shard_id: int, table: MonoTable) -> None:
-        """Load a checkpoint back into a shard (in place)."""
+    def restore_shard(
+        self,
+        run_name: str,
+        shard_id: int,
+        table: MonoTable,
+        expect_meta: Optional[dict] = None,
+    ) -> bool:
+        """Load a checkpoint back into a shard (in place).
+
+        Returns ``False`` (with a warning) when the checkpoint is missing
+        or unreadable -- the caller reseeds instead.  Raises
+        :class:`CheckpointMismatchError` when a *readable* checkpoint
+        belongs to a different run (wrong aggregate, wrong shard, or any
+        ``expect_meta`` entry that does not match).
+        """
         path = self._path(run_name, shard_id)
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            accumulated = payload["accumulated"]
+            intermediate = payload["intermediate"]
+        except FileNotFoundError:
+            return False
+        except (json.JSONDecodeError, KeyError, UnicodeDecodeError, OSError) as exc:
+            warnings.warn(
+                f"checkpoint {path} is unreadable ({exc!r}); treating as missing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
         if payload["aggregate"] != table.aggregate.name:
-            raise ValueError(
+            raise CheckpointMismatchError(
                 f"checkpoint aggregate {payload['aggregate']!r} does not match "
                 f"table aggregate {table.aggregate.name!r}"
             )
+        recorded_shard = payload.get("shard_id")
+        if recorded_shard is not None and recorded_shard != shard_id:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} records shard {recorded_shard}, "
+                f"but shard {shard_id} does not match"
+            )
+        if expect_meta:
+            recorded_meta = payload.get("meta") or {}
+            for key, expected in expect_meta.items():
+                recorded = recorded_meta.get(key)
+                if recorded != expected:
+                    raise CheckpointMismatchError(
+                        f"checkpoint {path} metadata {key}={recorded!r} does "
+                        f"not match this run's {key}={expected!r}; refusing to "
+                        f"load state from an incompatible run"
+                    )
         table.accumulated = {
-            _decode_key(k): v for k, v in payload["accumulated"].items()
+            _decode_key(k): v for k, v in accumulated.items()
         }
         table.intermediate = {
-            _decode_key(k): v for k, v in payload["intermediate"].items()
+            _decode_key(k): v for k, v in intermediate.items()
         }
+        return True
 
     def has_checkpoint(self, run_name: str, shard_id: int) -> bool:
         return os.path.exists(self._path(run_name, shard_id))

@@ -45,6 +45,22 @@ class ShardedRun:
         for key, value in compute_initial_delta(self.plan).items():
             self.shards[self.owner[key]].push(key, value)
 
+    def reseed_shard(self, shard_id: int) -> MonoTable:
+        """Rebuild one shard from scratch: ``X⁰`` plus its slice of ``ΔX¹``.
+
+        Crash recovery falls back to this when no (readable) checkpoint
+        exists -- the constant part ``C`` regenerates the shard's seed
+        deltas, and peer replay regenerates everything derived.
+        """
+        shard = MonoTable(
+            self.plan.aggregate, self.plan.initial, keys=self.shard_keys[shard_id]
+        )
+        for key, value in compute_initial_delta(self.plan).items():
+            if self.owner[key] == shard_id:
+                shard.push(key, value)
+        self.shards[shard_id] = shard
+        return shard
+
     def merged_values(self) -> dict:
         merged: dict = {}
         for shard in self.shards:
@@ -54,20 +70,86 @@ class ShardedRun:
     def total_pending(self) -> int:
         return sum(len(shard.intermediate) for shard in self.shards)
 
+    def checkpoint_meta(self) -> dict:
+        """Run-compatibility facts recorded in (and checked against) checkpoints."""
+        return {
+            "program": self.plan.name,
+            "num_workers": self.cluster.num_workers,
+            "aggregate": self.plan.aggregate.name,
+        }
+
     def checkpoint(self, checkpointer, run_name: str) -> None:
         """Persist every shard (paper Figure 6: checkpoint intermediates)."""
+        meta = self.checkpoint_meta()
         for shard_id, shard in enumerate(self.shards):
-            checkpointer.save_shard(run_name, shard_id, shard)
+            checkpointer.save_shard(run_name, shard_id, shard, meta=meta)
 
     def restore(self, checkpointer, run_name: str) -> bool:
-        """Reload every shard from a checkpoint; False when none exists."""
+        """Reload every shard from a checkpoint; False when none exists.
+
+        Restores into scratch tables first so a half-unreadable
+        checkpoint set never leaves the run partially overwritten.
+
+        For idempotent aggregates the restore finishes with a boundary
+        **replay**: every shard re-derives its out-edge contributions
+        from the restored accumulated column.  Per-shard checkpoints are
+        written one file at a time, so a crash *between* ``save_shard``
+        calls leaves shards from different epochs; a stale shard then
+        misses peer contributions nobody will resend.  Replay
+        regenerates all of them, and ``g`` absorbs the redundant ones
+        (Theorem 3), so any mixed-epoch checkpoint set still converges.
+        Additive aggregates skip the replay -- re-derived contributions
+        would double count -- and rely on every shard coming from the
+        same barrier, which the engines' snapshot cadence guarantees.
+        """
         if not all(
             checkpointer.has_checkpoint(run_name, shard_id)
             for shard_id in range(len(self.shards))
         ):
             return False
-        for shard_id, shard in enumerate(self.shards):
-            checkpointer.restore_shard(run_name, shard_id, shard)
+        meta = self.checkpoint_meta()
+        fresh: list[MonoTable] = []
+        for shard_id in range(len(self.shards)):
+            table = MonoTable(
+                self.plan.aggregate, {}, keys=self.shard_keys[shard_id]
+            )
+            if not checkpointer.restore_shard(
+                run_name, shard_id, table, expect_meta=meta
+            ):
+                return False
+            fresh.append(table)
+        self.shards[:] = fresh
+        if self.plan.aggregate.is_idempotent:
+            self.replay_boundaries()
+        return True
+
+    def replay_boundaries(self) -> int:
+        """Re-derive every shard's out-edge contributions (Theorem 3).
+
+        Only sound for idempotent aggregates; returns the number of
+        replayed contributions (also counted as F' applications).
+        """
+        plan = self.plan
+        replayed = 0
+        for shard in list(self.shards):
+            for key, value in shard.accumulated.items():
+                if value is None:
+                    continue
+                for dst, params, fn in plan.edges_from(key):
+                    self.shards[self.owner[dst]].push(dst, fn(value, *params))
+                    replayed += 1
+                    self.counters.combines += 1
+        self.counters.fprime_applications += replayed
+        return replayed
+
+    def restore_shard_state(self, checkpointer, run_name: str, shard_id: int) -> bool:
+        """Restore a single crashed shard from its latest checkpoint."""
+        table = MonoTable(self.plan.aggregate, {}, keys=self.shard_keys[shard_id])
+        if not checkpointer.restore_shard(
+            run_name, shard_id, table, expect_meta=self.checkpoint_meta()
+        ):
+            return False
+        self.shards[shard_id] = table
         return True
 
     def global_accumulation(self) -> float:

@@ -17,6 +17,17 @@ Two modes:
 
 Superstep time = slowest worker's compute (including message CPU and
 bandwidth) + one exchange latency + barrier + optional per-job overhead.
+
+Fault injection (``cluster.faults``) reuses the BSP structure: the
+barrier is the natural ack point, so a dropped inter-worker payload is
+queued for retransmission with exponential *superstep* backoff,
+duplicated deliveries are deduplicated by per-sender sequence numbers
+(additive aggregates) or absorbed by ``g`` (idempotent ones), and
+scheduled crashes fire at barriers -- recovering via single-shard
+checkpoint restore plus boundary replay (idempotent) or a coordinated
+rollback to the latest barrier snapshot (additive).  Incremental mode
+only; naive mode recomputes everything each superstep and has no delta
+state worth protecting.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.distributed.chaos import injector_for
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
@@ -52,6 +64,9 @@ class SyncEngine:
             raise ValueError("delta stepping requires a selective aggregate")
         if checkpoint_every and checkpointer is None:
             raise ValueError("checkpoint_every requires a checkpointer")
+        faults = (cluster or ClusterConfig()).faults
+        if mode == "naive" and faults is not None and not faults.is_null():
+            raise ValueError("fault injection requires incremental mode")
         self.plan = plan
         self.cluster = cluster or ClusterConfig()
         self.mode = mode
@@ -89,6 +104,55 @@ class SyncEngine:
         owner = state.owner
         shards = state.shards
         num_workers = cluster.num_workers
+
+        chaos = injector_for(cluster)
+        selective = aggregate.is_idempotent
+        if chaos is not None:
+            #: per (sender, target) sequence numbers and per-receiver
+            #: dedup sets; the barrier doubles as the ack point
+            seq_next = [[0] * num_workers for _ in range(num_workers)]
+            seen = [
+                [set() for _ in range(num_workers)] for _ in range(num_workers)
+            ]
+            #: (sender, target) -> {seq: {"payload", "attempt", "wait"}}
+            retrans_queue: dict = {}
+            remaining_crashes = sorted(
+                cluster.faults.crashes, key=lambda crash: crash.at
+            )
+            snapshot_every = self.checkpoint_every or 4
+
+            def apply_payload(sender: int, target: int, seq: int, payload: dict):
+                if seq in seen[target][sender]:
+                    chaos.stats.duplicates_absorbed += 1
+                    if not selective:
+                        # non-idempotent aggregates must not re-apply; the
+                        # idempotent path falls through and lets g absorb
+                        return
+                else:
+                    seen[target][sender].add(seq)
+                shard = shards[target]
+                for dst, value in payload.items():
+                    shard.push(dst, value)
+                    counters.combines += 1
+
+            def take_snapshot() -> dict:
+                return {
+                    "shards": [
+                        (dict(s.accumulated), dict(s.intermediate)) for s in shards
+                    ],
+                    "retrans": {
+                        pair: {
+                            seq: dict(entry) for seq, entry in queued.items()
+                        }
+                        for pair, queued in retrans_queue.items()
+                    },
+                    "seq_next": [list(row) for row in seq_next],
+                    "seen": [[set(s) for s in row] for row in seen],
+                }
+
+            #: a barrier plus the retransmit queues is the complete global
+            #: state, so any barrier snapshot is globally consistent
+            snapshot = take_snapshot() if not selective else None
 
         tracker = TerminationTracker(self.termination)
         draw_transient = cluster.transient_stream(salt=1)
@@ -144,16 +208,59 @@ class SyncEngine:
             # exchange: deliver payloads, charging per-message CPU on senders
             cross = 0
             messages = 0
+            if chaos is not None:
+                # retransmit pass: queued unacked payloads whose backoff
+                # expired retry before this superstep's fresh traffic
+                for (sender, target), queued in list(retrans_queue.items()):
+                    for seq, entry in list(queued.items()):
+                        entry["wait"] -= 1
+                        if entry["wait"] > 0:
+                            continue
+                        chaos.stats.retransmits += 1
+                        messages += 1
+                        cross += len(entry["payload"])
+                        compute_seconds[sender] += (
+                            cost.message_cpu_cost
+                            + len(entry["payload"]) * cost.tuple_net_cost
+                        ) / state.speeds[sender]
+                        if chaos.drops(sender, target, simulated):
+                            chaos.stats.dropped_messages += 1
+                            entry["attempt"] += 1
+                            entry["wait"] = min(2 ** entry["attempt"], 8)
+                            continue
+                        apply_payload(sender, target, seq, entry["payload"])
+                        if chaos.duplicates():
+                            chaos.stats.duplicated_messages += 1
+                            apply_payload(sender, target, seq, entry["payload"])
+                        del queued[seq]
+                    if not queued:
+                        del retrans_queue[(sender, target)]
             for sender in range(num_workers):
                 sent_tuples = 0
                 for target in range(num_workers):
                     payload = outboxes[sender][target]
                     if not payload:
                         continue
-                    shard = shards[target]
-                    for dst, value in payload.items():
-                        shard.push(dst, value)
-                        counters.combines += 1
+                    if chaos is None or target == sender:
+                        shard = shards[target]
+                        for dst, value in payload.items():
+                            shard.push(dst, value)
+                            counters.combines += 1
+                    else:
+                        seq = seq_next[sender][target]
+                        seq_next[sender][target] = seq + 1
+                        if chaos.drops(sender, target, simulated):
+                            chaos.stats.dropped_messages += 1
+                            retrans_queue.setdefault((sender, target), {})[seq] = {
+                                "payload": payload,
+                                "attempt": 1,
+                                "wait": 1,
+                            }
+                        else:
+                            apply_payload(sender, target, seq, payload)
+                            if chaos.duplicates():
+                                chaos.stats.duplicated_messages += 1
+                                apply_payload(sender, target, seq, payload)
                     if target != sender:
                         messages += 1
                         cross += len(payload)
@@ -168,6 +275,11 @@ class SyncEngine:
             counters.iterations += 1
 
             stretched = [c * draw_transient() for c in compute_seconds]
+            if chaos is not None:
+                stretched = [
+                    c * chaos.slowdown(worker, simulated)
+                    for worker, c in enumerate(stretched)
+                ]
             superstep = (
                 max(stretched)
                 + (cost.message_latency if cross else 0.0)
@@ -181,12 +293,58 @@ class SyncEngine:
                 and counters.iterations % self.checkpoint_every == 0
             ):
                 state.checkpoint(self.checkpointer, self.run_name)
+            if (
+                chaos is not None
+                and not selective
+                and counters.iterations % snapshot_every == 0
+            ):
+                snapshot = take_snapshot()
+                chaos.stats.checkpoints += 1
+
+            crashed = False
+            if chaos is not None:
+                while remaining_crashes and remaining_crashes[0].at <= simulated:
+                    crash = remaining_crashes.pop(0)
+                    chaos.stats.crashes += 1
+                    crashed = True
+                    simulated += crash.restart_after
+                    if selective:
+                        simulated += self._recover_shard(
+                            crash.worker, state, chaos, seen, retrans_queue
+                        )
+                    else:
+                        # coordinated rollback: additive deltas replayed from
+                        # live state would double count, so every worker
+                        # returns to the latest barrier snapshot
+                        chaos.stats.rollbacks += 1
+                        chaos.stats.recoveries += 1
+                        for w, (acc, inter) in enumerate(snapshot["shards"]):
+                            shards[w].accumulated = dict(acc)
+                            shards[w].intermediate = dict(inter)
+                        retrans_queue.clear()
+                        retrans_queue.update(
+                            {
+                                pair: {
+                                    seq: dict(entry)
+                                    for seq, entry in queued.items()
+                                }
+                                for pair, queued in snapshot["retrans"].items()
+                            }
+                        )
+                        for w in range(num_workers):
+                            seq_next[w][:] = snapshot["seq_next"][w]
+                            seen[w] = [set(s) for s in snapshot["seen"][w]]
 
             pending = state.total_pending()
             tracker.record(changed, total_delta)
             stop = tracker.stop_reason()
             if stop == "fixpoint" and pending:
                 stop = None  # delta-stepping deferred work remains
+            if chaos is not None and stop in ("fixpoint", "epsilon"):
+                if crashed or retrans_queue:
+                    # lost deltas are still awaiting retransmission, or a
+                    # recovery just reset state: convergence is not real yet
+                    stop = None
 
         return EvalResult(
             values=state.merged_values(),
@@ -195,6 +353,60 @@ class SyncEngine:
             simulated_seconds=simulated,
             engine=self.engine_name + ("+delta-step" if self.delta_stepping else ""),
             trace=tracker.history,
+            faults=chaos.stats if chaos is not None else None,
+        )
+
+    def _recover_shard(self, worker, state, chaos, seen, retrans_queue) -> float:
+        """Single-shard recovery for idempotent aggregates.
+
+        Restore the crashed shard from its latest checkpoint (or reseed
+        from ``X⁰`` + ``ΔX¹`` when none is readable), then replay
+        boundary contributions: every live peer re-derives the deltas it
+        feeds the crashed shard from its *accumulated* column, and the
+        restored worker replays all of its own out-edges because its
+        pre-crash sends may be lost.  Sound only because ``g`` absorbs
+        re-delivered deltas for idempotent aggregates (Theorem 3).
+        Returns the simulated seconds the replay costs.
+        """
+        chaos.stats.recoveries += 1
+        restored = False
+        if self.checkpointer is not None:
+            restored = state.restore_shard_state(
+                self.checkpointer, self.run_name, worker
+            )
+        if not restored:
+            state.reseed_shard(worker)
+        # the crashed worker's retransmit buffers and dedup memory died
+        # with it; replay regenerates everything those entries carried
+        for pair in [p for p in retrans_queue if p[0] == worker]:
+            del retrans_queue[pair]
+        for sender_seen in seen[worker]:
+            sender_seen.clear()
+        plan = self.plan
+        owner = state.owner
+        shards = state.shards
+        cost = self.cluster.cost
+        counters = state.counters
+        num_workers = self.cluster.num_workers
+        replay_ops = [0] * num_workers
+        for peer in range(num_workers):
+            for key, value in shards[peer].accumulated.items():
+                if value is None:
+                    continue
+                for dst, params, fn in plan.edges_from(key):
+                    target = owner[dst]
+                    if peer != worker and target != worker:
+                        continue
+                    shards[target].push(dst, fn(value, *params))
+                    replay_ops[peer] += 1
+                    counters.combines += 1
+                    chaos.stats.replayed_tuples += 1
+        counters.fprime_applications += sum(replay_ops)
+        if not any(replay_ops):
+            return 0.0
+        return max(
+            ops * cost.tuple_cost / state.speeds[peer]
+            for peer, ops in enumerate(replay_ops)
         )
 
     def _bucket_threshold(self, shards) -> float:

@@ -57,6 +57,10 @@ class UnifiedEngine(AsyncEngine):
         batch_size: Optional[int] = None,
         importance_threshold: Optional[float] = None,
         termination: Optional[TerminationSpec] = None,
+        checkpointer=None,
+        checkpoint_interval: float = 0.0,
+        run_name: str = "unified-run",
+        recovery: str = "auto",
     ):
         policy = buffer_policy or BufferPolicy(adaptive=True)
         if importance_threshold is None and plan.aggregate.kind is AggregateKind.ADDITIVE:
@@ -68,4 +72,8 @@ class UnifiedEngine(AsyncEngine):
             batch_size=batch_size,
             importance_threshold=importance_threshold,
             termination=termination,
+            checkpointer=checkpointer,
+            checkpoint_interval=checkpoint_interval,
+            run_name=run_name,
+            recovery=recovery,
         )

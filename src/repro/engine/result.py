@@ -76,6 +76,10 @@ class EvalResult:
     engine: str = ""
     #: convergence trace: (changed_keys, total_delta) per round/check
     trace: list = field(default_factory=list)
+    #: fault-injection and recovery accounting (a
+    #: :class:`repro.distributed.chaos.FaultStats`) when the run executed
+    #: under a fault schedule; ``None`` for fault-free runs
+    faults: Optional[object] = None
 
     def value(self, key):
         return self.values.get(key)

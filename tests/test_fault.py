@@ -1,11 +1,12 @@
 """Checkpointing and recovery of MonoTable state."""
 
 import math
+import os
 
 import pytest
 
 from repro.aggregates import MIN, SUM
-from repro.distributed import Checkpointer
+from repro.distributed import Checkpointer, CheckpointMismatchError
 from repro.engine import MonoTable, MRAEvaluator
 from repro.engine.monotable import MonoTable as MonoTableClass
 from repro.engine.mra import compute_initial_delta
@@ -44,6 +45,86 @@ class TestRoundTrip:
         assert not checkpointer.has_checkpoint("run", 0)
         checkpointer.save_shard("run", 0, MonoTable(SUM, initial={}))
         assert checkpointer.has_checkpoint("run", 0)
+
+
+class TestRobustOnDiskFormat:
+    """Atomic writes, corruption tolerance, run-compatibility metadata."""
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1}))
+        assert os.path.exists(path)
+        leftovers = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1.0}))
+        checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 2.0}))
+        restored = MonoTable(SUM, initial={})
+        assert checkpointer.restore_shard("run", 0, restored)
+        assert restored.accumulated == {1: 2.0}
+
+    def test_corrupt_checkpoint_warns_and_reports_missing(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1}))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "accum')  # torn write
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            ok = checkpointer.restore_shard("run", 0, MonoTable(SUM, initial={}))
+        assert not ok
+
+    def test_payload_missing_columns_warns(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1}))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "aggregate": "sum"}')  # valid JSON, wrong shape
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert not checkpointer.restore_shard(
+                "run", 0, MonoTable(SUM, initial={})
+            )
+
+    def test_missing_checkpoint_is_silent(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not checkpointer.restore_shard(
+                "never", 0, MonoTable(SUM, initial={})
+            )
+
+    def test_metadata_mismatch_fails_loudly(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        meta = {"program": "sssp", "num_workers": 4}
+        checkpointer.save_shard("run", 0, MonoTable(MIN, initial={1: 1}), meta=meta)
+        # same metadata restores fine
+        assert checkpointer.restore_shard(
+            "run", 0, MonoTable(MIN, initial={}), expect_meta=meta
+        )
+        # a different worker count is a different run
+        with pytest.raises(CheckpointMismatchError, match="num_workers"):
+            checkpointer.restore_shard(
+                "run",
+                0,
+                MonoTable(MIN, initial={}),
+                expect_meta={"program": "sssp", "num_workers": 8},
+            )
+        # so is a different program
+        with pytest.raises(CheckpointMismatchError, match="program"):
+            checkpointer.restore_shard(
+                "run",
+                0,
+                MonoTable(MIN, initial={}),
+                expect_meta={"program": "cc", "num_workers": 4},
+            )
+
+    def test_shard_id_mismatch_fails_loudly(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(MIN, initial={1: 1}))
+        os.replace(path, checkpointer._path("run", 3))
+        with pytest.raises(CheckpointMismatchError, match="shard"):
+            checkpointer.restore_shard("run", 3, MonoTable(MIN, initial={}))
 
 
 class TestRecoveryReachesFixpoint:
