@@ -11,7 +11,6 @@ SociaLite's delta-stepping SSSP on the small-diameter web graph.
 
 import math
 
-import pytest
 
 from repro.bench import run_figure9
 

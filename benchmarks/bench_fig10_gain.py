@@ -14,7 +14,6 @@ The paper's qualitative findings encoded as assertions:
 
 import math
 
-import pytest
 
 from repro.bench import run_figure10
 

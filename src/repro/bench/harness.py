@@ -19,7 +19,7 @@ from repro.bench.paper_data import (
     PAPER_SPEEDUP_CLAIMS,
     PAPER_TABLE2,
 )
-from repro.bench.charts import grouped_bar_chart
+from repro.bench.charts import grouped_bar_chart, sparkline
 from repro.bench.report import format_table
 from repro.checker import check_analysis, emit_property2_script
 from repro.distributed import (
@@ -34,6 +34,7 @@ from repro.engine import MRAEvaluator, NaiveEvaluator, SemiNaiveEvaluator, compa
 from repro.engine.plan import CompiledPlan
 from repro.graphs import compute_stats, dataset_names, load_dataset
 from repro.graphs.generators import random_dag, rmat
+from repro.obs import Observability
 from repro.programs import PROGRAMS, benchmark_programs
 from repro.systems import SYSTEMS, PowerLog
 
@@ -421,10 +422,19 @@ def run_buffer_ablation(
     programs: Sequence[str] = ("sssp", "pagerank"),
     datasets: Sequence[str] = ("livej", "arabic"),
     scale: float = 1.0,
+    observe: bool = False,
 ) -> ExperimentReport:
-    """Fixed small / fixed large / adaptive message buffers."""
+    """Fixed small / fixed large / adaptive message buffers.
+
+    With ``observe=True`` the adaptive run carries an
+    :class:`repro.obs.Observability` and the report appends per-worker
+    ``beta(i,j)`` time-series sparklines -- the paper's section 5.3 knob
+    made visible.  Observability never touches the simulation's RNG or
+    clock, so the measured seconds are identical either way.
+    """
     cluster = ClusterConfig()
     rows = []
+    beta_sections: list[str] = []
     for program in programs:
         for dataset in datasets:
             plan = _plan(program, dataset, scale)
@@ -436,14 +446,32 @@ def run_buffer_ablation(
             }
             cell: dict = {"program": program, "dataset": dataset}
             for label, policy in configs.items():
-                result = UnifiedEngine(plan, cluster, buffer_policy=policy).run()
+                obs = Observability() if observe and label == "adaptive" else None
+                result = UnifiedEngine(
+                    plan, cluster, buffer_policy=policy, obs=obs
+                ).run()
                 seconds = _seconds(result)
                 if not _result_ok(program, dataset, scale, result.values):
                     seconds = float("nan")
                 cell[label] = seconds
                 cell[f"{label} msgs"] = result.counters.messages
+                if obs is not None and result.metrics is not None:
+                    lines = [f"beta(i,j) over time -- {program}/{dataset}:"]
+                    for labels, series in result.metrics.gauge_series("buffer.beta"):
+                        pair = dict(labels)
+                        values = [value for _, value in series]
+                        lines.append(
+                            f"  beta({pair.get('worker')},{pair.get('target')}) "
+                            f"{sparkline(values)}  "
+                            f"[{values[0]:.0f} -> {values[-1]:.0f}, "
+                            f"{len(values)} adaptations]"
+                        )
+                    if len(lines) > 1:
+                        beta_sections.append("\n".join(lines))
             rows.append(cell)
     text = "Adaptive buffer ablation (section 5.3)\n" + format_table(rows)
+    if beta_sections:
+        text += "\n\n" + "\n\n".join(beta_sections)
     return ExperimentReport("buffer_ablation", rows, text)
 
 

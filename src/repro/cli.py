@@ -13,6 +13,13 @@ Commands:
 * ``chaos``               -- run the fault-injection recovery harness:
   chaotic executions (crashes, drops, duplicates, reordering) must
   reach the same fixpoint as fault-free references;
+* ``trace PROGRAM``       -- run with structured trace events enabled,
+  print per-kind event counts, optionally write JSONL (``--out``) and
+  inject faults (``--chaos``); under chaos the aggregated ``fault.*``
+  events are checked against ``EvalResult.faults`` exactly;
+* ``metrics PROGRAM``     -- run with the metrics registry enabled and
+  render counters, histograms and per-worker time-series (e.g. the
+  unified engine's ``beta(i,j)`` buffer sizes over simulated time);
 * ``programs``            -- list the fourteen Table-1 programs;
 * ``datasets``            -- list the Table-2 dataset stand-ins.
 """
@@ -37,11 +44,13 @@ from repro.programs import PROGRAMS, get_program
 from repro.systems import PowerLog
 
 _ENGINES = {
-    "sync": lambda plan, cluster: SyncEngine(plan, cluster),
-    "naive": lambda plan, cluster: SyncEngine(plan, cluster, mode="naive"),
-    "async": lambda plan, cluster: AsyncEngine(plan, cluster),
-    "unified": lambda plan, cluster: UnifiedEngine(plan, cluster),
-    "aap": lambda plan, cluster: AAPEngine(plan, cluster),
+    "sync": lambda plan, cluster, obs=None: SyncEngine(plan, cluster, obs=obs),
+    "naive": lambda plan, cluster, obs=None: SyncEngine(
+        plan, cluster, mode="naive", obs=obs
+    ),
+    "async": lambda plan, cluster, obs=None: AsyncEngine(plan, cluster, obs=obs),
+    "unified": lambda plan, cluster, obs=None: UnifiedEngine(plan, cluster, obs=obs),
+    "aap": lambda plan, cluster, obs=None: AAPEngine(plan, cluster, obs=obs),
 }
 
 _EXPERIMENTS = {
@@ -153,7 +162,7 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     if not analysis.iterated:
         print(f"{analysis.program.name} is already in incremental form")
         return 0
-    print(f"% equivalent incremental program (paper Program 2.b, section 3.3)")
+    print("% equivalent incremental program (paper Program 2.b, section 3.3)")
     print(incremental_source(analysis))
     return 0
 
@@ -193,6 +202,110 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 if value:
                     print(f"  {key}: {value}")
     return 0 if all(report.agreed for report in reports) else 1
+
+
+def _observed_graph(args: argparse.Namespace):
+    """The graph a ``trace``/``metrics`` run uses.
+
+    Defaults to the chaos harness's small per-program graph so a trace
+    stays readable; ``--dataset`` switches to the Table-2 stand-ins.
+    """
+    from repro.distributed.chaos_harness import default_graph
+
+    if args.dataset:
+        return load_dataset(args.dataset, args.scale)
+    return default_graph(args.program, seed=args.seed)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.distributed.chaos_harness import schedule_for
+    from repro.obs import Observability, aggregate_fault_events
+
+    spec = get_program(args.program)
+    graph = _observed_graph(args)
+    cluster = ClusterConfig(num_workers=args.workers)
+    if args.chaos:
+        reference = _ENGINES[args.engine](spec.plan(graph), cluster).run()
+        schedule = schedule_for(
+            reference.simulated_seconds, cluster.num_workers, seed=args.seed
+        )
+        cluster = cluster.with_faults(schedule)
+        print(f"fault schedule: {schedule.describe()}")
+    with Observability(trace_path=args.out) as obs:
+        result = _ENGINES[args.engine](spec.plan(graph), cluster, obs).run()
+    events = obs.trace.events
+    print(
+        f"{spec.title} on {graph.name}, engine={result.engine}, "
+        f"stop={result.stop_reason}, simulated {result.simulated_seconds:.3f}s: "
+        f"{len(events)} trace events"
+    )
+    for kind, count in sorted(obs.trace.counts_by_kind().items()):
+        print(f"  {kind:24s} {count}")
+    if args.out:
+        print(f"[trace written to {args.out}]")
+    if result.faults is not None:
+        observed = aggregate_fault_events(events)
+        expected = result.faults.snapshot()
+        mismatched = {
+            key: (observed.get(key, 0), value)
+            for key, value in expected.items()
+            if observed.get(key, 0) != value
+        }
+        if mismatched:
+            print("FAULT EVENT MISMATCH (trace events vs EvalResult.faults):")
+            for key, (got, want) in sorted(mismatched.items()):
+                print(f"  {key}: events={got} counters={want}")
+            return 1
+        print(
+            "fault events agree with EvalResult.faults "
+            f"({sum(expected.values())} fault counts)"
+        )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.bench.charts import sparkline
+    from repro.obs import Observability
+
+    spec = get_program(args.program)
+    graph = _observed_graph(args)
+    cluster = ClusterConfig(num_workers=args.workers)
+    obs = Observability()
+    result = _ENGINES[args.engine](spec.plan(graph), cluster, obs).run()
+    metrics = result.metrics
+    print(
+        f"{spec.title} on {graph.name}, engine={result.engine}, "
+        f"stop={result.stop_reason}: {metrics!r}"
+    )
+    snapshot = metrics.snapshot()
+    if snapshot["counters"]:
+        print("counters (summed over labels):")
+        totals: dict = {}
+        for key, value in snapshot["counters"].items():
+            name = key.split("{", 1)[0]
+            totals[name] = totals.get(name, 0) + value
+        for name, value in sorted(totals.items()):
+            print(f"  {name:24s} {value:g}")
+    for key, stats in snapshot["histograms"].items():
+        print(
+            f"histogram {key}: count={stats['count']} mean={stats['mean']:.2f} "
+            f"min={stats['min']:g} max={stats['max']:g}"
+        )
+    series_found = False
+    for labels, series in metrics.gauge_series("buffer.beta"):
+        if not series_found:
+            print("beta(i,j) over simulated time:")
+            series_found = True
+        pair = dict(labels)
+        values = [value for _, value in series]
+        print(
+            f"  beta({pair.get('worker')},{pair.get('target')}) "
+            f"{sparkline(values)}  "
+            f"[{values[0]:.0f} -> {values[-1]:.0f}, {len(values)} adaptations]"
+        )
+    if not series_found and args.engine == "unified":
+        print("(no buffer adaptations recorded)")
+    return 0
 
 
 def cmd_programs(_: argparse.Namespace) -> int:
@@ -293,6 +406,38 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="print per-run fault counters"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    def _obs_common(subparser, default_engine):
+        subparser.add_argument("program", choices=sorted(PROGRAMS))
+        subparser.add_argument(
+            "--engine", default=default_engine, choices=sorted(_ENGINES)
+        )
+        subparser.add_argument(
+            "--dataset",
+            choices=dataset_names(),
+            help="run on a Table-2 stand-in instead of the small default graph",
+        )
+        subparser.add_argument("--scale", type=float, default=1.0)
+        subparser.add_argument("--workers", type=int, default=4)
+        subparser.add_argument("--seed", type=int, default=7)
+
+    trace = commands.add_parser(
+        "trace", help="run a program with structured trace events enabled"
+    )
+    _obs_common(trace, "unified")
+    trace.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject faults and check fault events against EvalResult.faults",
+    )
+    trace.add_argument("--out", help="write the trace as JSONL to this file")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a program and render its metrics registry"
+    )
+    _obs_common(metrics, "unified")
+    metrics.set_defaults(func=cmd_metrics)
 
     programs = commands.add_parser("programs", help="list the Table-1 programs")
     programs.set_defaults(func=cmd_programs)

@@ -45,6 +45,7 @@ class AAPEngine(AsyncEngine):
         checkpoint_interval: float = 0.0,
         run_name: str = "aap-run",
         recovery: str = "auto",
+        obs=None,
     ):
         policy = BufferPolicy(
             initial_beta=fixed_buffer_size, adaptive=False
@@ -59,6 +60,7 @@ class AAPEngine(AsyncEngine):
             checkpoint_interval=checkpoint_interval,
             run_name=run_name,
             recovery=recovery,
+            obs=obs,
         )
         self.stream_batch = stream_batch
         self.block_batch = block_batch
@@ -88,4 +90,15 @@ class AAPEngine(AsyncEngine):
             mode_batch = self.block_batch
         else:
             mode_batch = self.stream_batch  # AP-like: stream eagerly
+        old = self._batch.get(worker, self.stream_batch)
         self._batch[worker] = mode_batch
+        if self.obs.enabled and mode_batch != old:
+            mode = (
+                "sweep" if mode_batch is None
+                else "block" if mode_batch == self.block_batch
+                else "stream"
+            )
+            self.obs.trace.emit(
+                "aap.mode", worker=worker, mode=mode, ratio=round(ratio, 4)
+            )
+            self.obs.metrics.inc("aap.mode_switches", worker=worker, mode=mode)

@@ -59,6 +59,7 @@ from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
 from repro.engine.termination import TerminationSpec, TerminationTracker
+from repro.obs import ensure_obs
 
 
 class AsyncEngine:
@@ -78,9 +79,11 @@ class AsyncEngine:
         checkpoint_interval: float = 0.0,
         run_name: str = "async-run",
         recovery: str = "auto",
+        obs=None,
     ):
         if recovery not in ("auto", "local", "global"):
             raise ValueError(f"unknown recovery mode {recovery!r}")
+        self.obs = ensure_obs(obs)
         self.plan = plan
         self.cluster = cluster or ClusterConfig()
         self.buffer_policy = buffer_policy or BufferPolicy(adaptive=False)
@@ -107,9 +110,21 @@ class AsyncEngine:
         self.recovery = recovery
 
     # -- extension hooks --------------------------------------------------------
-    def _make_buffer(self):
+    def _make_buffer(self, worker: int = -1, target: int = -1):
         if self.buffer_policy.adaptive:
-            return AdaptiveBuffer(self.buffer_policy)
+            buffer = AdaptiveBuffer(self.buffer_policy)
+            obs = self.obs
+            if obs.enabled and worker >= 0:
+                def on_adapt(now, old, new, pace, _w=worker, _t=target):
+                    obs.trace.emit(
+                        "buffer.beta", t=now, worker=_w, target=_t,
+                        old=old, new=new, pace=pace,
+                    )
+                    obs.metrics.gauge("buffer.beta", new, t=now, worker=_w, target=_t)
+                    obs.metrics.inc("buffer.adaptations", worker=_w, target=_t)
+
+                buffer.on_adapt = on_adapt
+            return buffer
         return FixedBuffer(self.buffer_policy.initial_beta, self.buffer_policy.tau)
 
     def _batch_limit(self, worker: int) -> Optional[int]:
@@ -127,11 +142,16 @@ class AsyncEngine:
         plan = self.plan
         cluster = self.cluster
         cost = cluster.cost
+        obs = self.obs
         num_workers = cluster.num_workers
         state = ShardedRun(plan, cluster)
         restored = False
         if self.checkpointer is not None:
             restored = state.restore(self.checkpointer, self.run_name)
+            if obs.enabled:
+                obs.trace.emit(
+                    "ckpt.restore", t=0.0, run=self.run_name, restored=restored
+                )
         if not restored:
             state.seed_initial_delta()
         counters = state.counters
@@ -142,7 +162,7 @@ class AsyncEngine:
         speeds = state.speeds
         selective = aggregate.is_idempotent
 
-        chaos = injector_for(cluster)
+        chaos = injector_for(cluster, obs)
         recovery_mode = self.recovery
         if recovery_mode == "auto":
             recovery_mode = "local" if selective else "global"
@@ -153,7 +173,11 @@ class AsyncEngine:
             checkpoint_interval = cost.termination_interval
 
         buffers = [
-            {target: self._make_buffer() for target in range(num_workers) if target != w}
+            {
+                target: self._make_buffer(w, target)
+                for target in range(num_workers)
+                if target != w
+            }
             for w in range(num_workers)
         ]
         busy_until = [0.0] * num_workers
@@ -223,13 +247,25 @@ class AsyncEngine:
             """One transmission attempt, with its injected fate."""
             nonlocal inflight
             if down[target] or chaos.drops(sender, target, send_time):
-                chaos.stats.dropped_messages += 1
+                chaos.record(
+                    "dropped_messages",
+                    t=send_time,
+                    sender=sender,
+                    target=target,
+                    seq=seq,
+                )
                 return
             delay = cost.message_latency + chaos.extra_latency()
             schedule(send_time + delay, "deliver", (target, payload, sender, seq))
             inflight += 1
             if chaos.duplicates():
-                chaos.stats.duplicated_messages += 1
+                chaos.record(
+                    "duplicated_messages",
+                    t=send_time,
+                    sender=sender,
+                    target=target,
+                    seq=seq,
+                )
                 schedule(
                     send_time + delay + chaos.extra_latency(),
                     "deliver",
@@ -287,6 +323,13 @@ class AsyncEngine:
                 if buffer.should_flush(time):
                     payload = buffer.flush(time)
                     buffer.observe_flush(time)
+                    if obs.enabled:
+                        obs.trace.emit(
+                            "buffer.flush", t=time, worker=worker, target=target,
+                            size=len(payload), reason="ready",
+                        )
+                        obs.metrics.inc("buffer.flushes", worker=worker)
+                        obs.metrics.observe("buffer.flush_size", len(payload))
                     send_cpu = (
                         cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
                     ) / speeds[worker]
@@ -326,6 +369,13 @@ class AsyncEngine:
                 moment = time + ops * cost.tuple_cost / speeds[worker]
                 payload = buffer.flush(moment)
                 buffer.observe_flush(moment)
+                if obs.enabled:
+                    obs.trace.emit(
+                        "buffer.flush", t=moment, worker=worker, target=target,
+                        size=len(payload), reason="full",
+                    )
+                    obs.metrics.inc("buffer.flushes", worker=worker)
+                    obs.metrics.observe("buffer.flush_size", len(payload))
                 send_cpu = (
                     cost.message_cpu_cost + len(payload) * cost.tuple_net_cost
                 ) / speeds[worker]
@@ -381,15 +431,30 @@ class AsyncEngine:
                 target, payload, sender, seq = data
                 if down[target]:
                     # lost on a dead worker; the sender's rto re-sends it
-                    chaos.stats.dropped_messages += 1
+                    chaos.record(
+                        "dropped_messages", t=time, sender=sender, target=target, seq=seq
+                    )
                     return
                 # ack the delivery (acks can be lost too; the rto covers it)
                 if chaos.drops(target, sender, time):
-                    chaos.stats.dropped_messages += 1
+                    chaos.record(
+                        "dropped_messages",
+                        t=time,
+                        sender=target,
+                        target=sender,
+                        seq=seq,
+                        ack=True,
+                    )
                 else:
                     schedule(time + cost.message_latency, "ack", (sender, target, seq))
                 if seq in seen[target][sender]:
-                    chaos.stats.duplicates_absorbed += 1
+                    chaos.record(
+                        "duplicates_absorbed",
+                        t=time,
+                        sender=sender,
+                        target=target,
+                        seq=seq,
+                    )
                     if not selective:
                         # non-idempotent aggregates must not re-apply; the
                         # idempotent path falls through and lets g absorb
@@ -408,6 +473,8 @@ class AsyncEngine:
             if down[sender]:
                 return  # the sender's retransmit state died with it
             retrans[sender][target].ack(seq)
+            if obs.enabled:
+                obs.trace.emit("net.ack", t=time, sender=sender, target=target, seq=seq)
 
         def handle_rto(data, time: float) -> None:
             sender, target, seq, attempt = data
@@ -417,10 +484,19 @@ class AsyncEngine:
             payload = rbuffer.get(seq)
             if payload is None:
                 return  # acked in the meantime
-            chaos.stats.retransmits += 1
+            chaos.record(
+                "retransmits", t=time, sender=sender, target=target, seq=seq,
+                attempt=attempt,
+            )
             launch(sender, target, seq, payload, time)
+            next_timeout = rbuffer.timeout(attempt + 1)
+            if obs.enabled:
+                obs.trace.emit(
+                    "net.backoff", t=time, sender=sender, target=target, seq=seq,
+                    attempt=attempt + 1, timeout=next_timeout,
+                )
             schedule(
-                time + rbuffer.timeout(attempt + 1),
+                time + next_timeout,
                 "rto",
                 (sender, target, seq, attempt + 1),
             )
@@ -459,10 +535,12 @@ class AsyncEngine:
                 return
             if self.checkpointer is not None:
                 state.checkpoint(self.checkpointer, self.run_name)
+                if obs.enabled:
+                    obs.trace.emit("ckpt.write", t=time, run=self.run_name)
             if chaos is not None:
                 if recovery_mode == "global":
                     latest_snapshot[0] = take_snapshot()
-                chaos.stats.checkpoints += 1
+                chaos.record("checkpoints", t=time)
             schedule(time + checkpoint_interval, "ckpt", None)
 
         def handle_crash(crash, time: float) -> None:
@@ -470,7 +548,7 @@ class AsyncEngine:
             remaining_crashes.remove(crash)
             if down[worker]:
                 return  # already dead; the scheduled crash is moot
-            chaos.stats.crashes += 1
+            chaos.record("crashes", t=time, worker=worker)
             if recovery_mode == "global":
                 rollback(time, crash.restart_after)
                 return
@@ -498,9 +576,17 @@ class AsyncEngine:
                 restored_shard = state.restore_shard_state(
                     self.checkpointer, self.run_name, worker
                 )
+            if obs.enabled:
+                obs.trace.emit(
+                    "ckpt.restore",
+                    t=time,
+                    run=self.run_name,
+                    worker=worker,
+                    restored=restored_shard,
+                )
             if not restored_shard:
                 state.reseed_shard(worker)
-            chaos.stats.recoveries += 1
+            chaos.record("recoveries", t=time, worker=worker)
             # every live worker re-derives the deltas that cross the
             # crashed worker's boundary from its *accumulated* column;
             # re-delivery is absorbed by g-combining (idempotent
@@ -520,7 +606,6 @@ class AsyncEngine:
                             continue  # only edges touching the crashed worker
                         contribution = fn(value, *params)
                         ops += 1
-                        chaos.stats.replayed_tuples += 1
                         if target == peer:
                             source.push(dst, contribution)
                             counters.combines += 1
@@ -531,6 +616,9 @@ class AsyncEngine:
                             else:
                                 box[dst] = contribution
                 if ops:
+                    chaos.record(
+                        "replayed_tuples", t=time, n=ops, peer=peer, worker=worker
+                    )
                     counters.fprime_applications += ops
                     send_time = (
                         max(time, busy_until[peer])
@@ -546,8 +634,8 @@ class AsyncEngine:
             """Coordinated recovery: every worker returns to the latest
             globally consistent snapshot; the clock keeps moving forward."""
             nonlocal inflight, progress_updates, progress_magnitude, prev_global
-            chaos.stats.recoveries += 1
-            chaos.stats.rollbacks += 1
+            chaos.record("recoveries", t=time)
+            chaos.record("rollbacks", t=time)
             snap = latest_snapshot[0]
             resume = time + restart_after
             for w, (acc, inter) in enumerate(snap["shards"]):
@@ -679,6 +767,15 @@ class AsyncEngine:
                 idle_checks = 0
                 counters.iterations += 1
                 tracker.record(progress_updates, progress_magnitude)
+                if obs.enabled:
+                    obs.trace.emit(
+                        "engine.epoch",
+                        t=now,
+                        engine=self.engine_name,
+                        round=counters.iterations,
+                        changed=progress_updates,
+                        delta=progress_magnitude,
+                    )
                 progress_updates = 0
                 progress_magnitude = 0.0
                 current_global = state.global_accumulation()
@@ -708,7 +805,7 @@ class AsyncEngine:
         # the master's periodic check happens to observe it
         finished_at = last_activity if stop == "fixpoint" else now
 
-        return EvalResult(
+        result = EvalResult(
             values=state.merged_values(),
             stop_reason=stop,
             counters=counters,
@@ -717,3 +814,7 @@ class AsyncEngine:
             trace=tracker.history,
             faults=chaos.stats if chaos is not None else None,
         )
+        if obs.enabled:
+            obs.metrics.absorb_work_counters(counters, engine=self.engine_name)
+            result.metrics = obs.metrics
+        return result

@@ -113,11 +113,19 @@ class RetransmitBuffer:
 
 
 class AdaptiveBuffer(FixedBuffer):
-    """The paper's adaptive buffer: ``beta`` follows the update pace."""
+    """The paper's adaptive buffer: ``beta`` follows the update pace.
 
-    def __init__(self, policy: BufferPolicy):
+    ``on_adapt`` is an optional observability hook: whenever the pace
+    rule actually adjusts ``beta`` it is called as
+    ``on_adapt(now, old_beta, new_beta, pace)``.  The owning engine
+    attaches it with the buffer's ``(worker, target)`` context bound in;
+    the buffer itself stays context-free.
+    """
+
+    def __init__(self, policy: BufferPolicy, on_adapt=None):
         super().__init__(policy.initial_beta, policy.tau)
         self.policy = policy
+        self.on_adapt = on_adapt
         self._window_start = 0.0
         self._window_updates = 0
 
@@ -136,8 +144,11 @@ class AdaptiveBuffer(FixedBuffer):
         threshold = self.beta / self.policy.tau  # beta / tau
         if pace > self.policy.r * threshold or pace < threshold / self.policy.r:
             new_beta = self.policy.alpha * self.policy.tau * pace
+            old_beta = self.beta
             self.beta = min(
                 self.policy.max_beta, max(self.policy.min_beta, new_beta)
             )
+            if self.on_adapt is not None and self.beta != old_beta:
+                self.on_adapt(now, old_beta, self.beta, pace)
         self._window_start = now
         self._window_updates = 0

@@ -26,9 +26,11 @@ to the condition that makes it recoverable.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
+
+from repro.obs import ensure_obs
 
 
 @dataclass(frozen=True)
@@ -229,14 +231,32 @@ class FaultInjector:
     All randomness comes from one ``numpy`` generator consumed in event
     order, so a deterministic event loop plus a fixed schedule yields a
     bit-identical chaotic execution.
+
+    When an :class:`~repro.obs.Observability` handle is attached, every
+    :class:`FaultStats` increment flows through :meth:`record`, which
+    bumps the counter *and* emits the matching ``fault.<counter>`` trace
+    event in one call -- the invariant behind
+    :func:`repro.obs.aggregate_fault_events` matching
+    ``FaultStats.snapshot()`` exactly.
     """
 
-    def __init__(self, schedule: FaultSchedule, num_workers: int):
+    def __init__(self, schedule: FaultSchedule, num_workers: int, obs=None):
         schedule.validate(num_workers)
         self.schedule = schedule
         self.num_workers = num_workers
         self._rng = np.random.default_rng(schedule.seed)
         self.stats = FaultStats()
+        self.obs = ensure_obs(obs)
+
+    def record(self, name: str, t=None, n: int = 1, **fields) -> None:
+        """Increment ``stats.<name>`` by ``n`` and trace the injection.
+
+        ``t`` is the simulated time when the caller knows it (engines
+        always do; the injector's own draws sometimes don't).
+        """
+        setattr(self.stats, name, getattr(self.stats, name) + n)
+        if self.obs.enabled:
+            self.obs.trace.emit(f"fault.{name}", t=t, n=n, **fields)
 
     # -- network fates ---------------------------------------------------------
     def partitioned(self, a: int, b: int, now: float) -> bool:
@@ -266,7 +286,7 @@ class FaultInjector:
             return 0.0
         extra = jitter * float(self._rng.random())
         if extra > 0:
-            self.stats.reordered_messages += 1
+            self.record("reordered_messages", extra=extra)
         return extra
 
     # -- compute fates ---------------------------------------------------------
@@ -287,9 +307,9 @@ class FaultInjector:
         return min(timeout, self.schedule.max_retransmit_timeout)
 
 
-def injector_for(cluster) -> "FaultInjector | None":
+def injector_for(cluster, obs=None) -> "FaultInjector | None":
     """Build the injector for a cluster, or ``None`` for fault-free runs."""
     schedule = getattr(cluster, "faults", None)
     if schedule is None or schedule.is_null():
         return None
-    return FaultInjector(schedule, cluster.num_workers)
+    return FaultInjector(schedule, cluster.num_workers, obs=obs)

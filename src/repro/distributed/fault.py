@@ -29,6 +29,7 @@ import warnings
 from typing import Optional, Union
 
 from repro.engine.monotable import MonoTable
+from repro.obs import ensure_obs
 
 #: bump when the on-disk payload layout changes incompatibly
 CHECKPOINT_SCHEMA_VERSION = 2
@@ -52,10 +53,18 @@ def _decode_key(text: str):
 
 
 class Checkpointer:
-    """Write and restore MonoTable shard checkpoints."""
+    """Write and restore MonoTable shard checkpoints.
 
-    def __init__(self, directory: Union[str, os.PathLike]):
+    With an :class:`~repro.obs.Observability` handle attached, every
+    shard write/restore emits a ``ckpt.shard_write`` /
+    ``ckpt.shard_restore`` trace event (disk side, so no simulated
+    timestamp -- the engines emit the clocked ``ckpt.write`` /
+    ``ckpt.restore`` spans).
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike], obs=None):
         self.directory = str(directory)
+        self.obs = ensure_obs(obs)
         os.makedirs(self.directory, exist_ok=True)
 
     def _path(self, run_name: str, shard_id: int) -> str:
@@ -92,6 +101,15 @@ class Checkpointer:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp_path, path)
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                "ckpt.shard_write",
+                run=run_name,
+                shard=shard_id,
+                keys=len(payload["accumulated"]),
+                pending=len(payload["intermediate"]),
+            )
+            self.obs.metrics.inc("ckpt.shard_writes", shard=shard_id)
         return path
 
     def restore_shard(
@@ -151,6 +169,15 @@ class Checkpointer:
         table.intermediate = {
             _decode_key(k): v for k, v in intermediate.items()
         }
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                "ckpt.shard_restore",
+                run=run_name,
+                shard=shard_id,
+                keys=len(table.accumulated),
+                pending=len(table.intermediate),
+            )
+            self.obs.metrics.inc("ckpt.shard_restores", shard=shard_id)
         return True
 
     def has_checkpoint(self, run_name: str, shard_id: int) -> bool:

@@ -41,6 +41,7 @@ from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
 from repro.engine.termination import TerminationSpec, TerminationTracker
+from repro.obs import ensure_obs
 
 
 class SyncEngine:
@@ -57,6 +58,7 @@ class SyncEngine:
         checkpointer=None,
         checkpoint_every: int = 0,
         run_name: str = "sync-run",
+        obs=None,
     ):
         if mode not in ("incremental", "naive"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -81,6 +83,7 @@ class SyncEngine:
         self.checkpointer = checkpointer
         self.checkpoint_every = checkpoint_every
         self.run_name = run_name
+        self.obs = ensure_obs(obs)
 
     def run(self) -> EvalResult:
         if self.mode == "incremental":
@@ -92,10 +95,15 @@ class SyncEngine:
         plan = self.plan
         cluster = self.cluster
         cost = cluster.cost
+        obs = self.obs
         state = ShardedRun(plan, cluster)
         restored = False
         if self.checkpointer is not None:
             restored = state.restore(self.checkpointer, self.run_name)
+            if obs.enabled:
+                obs.trace.emit(
+                    "ckpt.restore", t=0.0, run=self.run_name, restored=restored
+                )
         if not restored:
             state.seed_initial_delta()
         counters = state.counters
@@ -105,7 +113,7 @@ class SyncEngine:
         shards = state.shards
         num_workers = cluster.num_workers
 
-        chaos = injector_for(cluster)
+        chaos = injector_for(cluster, obs)
         selective = aggregate.is_idempotent
         if chaos is not None:
             #: per (sender, target) sequence numbers and per-receiver
@@ -123,7 +131,13 @@ class SyncEngine:
 
             def apply_payload(sender: int, target: int, seq: int, payload: dict):
                 if seq in seen[target][sender]:
-                    chaos.stats.duplicates_absorbed += 1
+                    chaos.record(
+                        "duplicates_absorbed",
+                        t=simulated,
+                        sender=sender,
+                        target=target,
+                        seq=seq,
+                    )
                     if not selective:
                         # non-idempotent aggregates must not re-apply; the
                         # idempotent path falls through and lets g absorb
@@ -216,7 +230,14 @@ class SyncEngine:
                         entry["wait"] -= 1
                         if entry["wait"] > 0:
                             continue
-                        chaos.stats.retransmits += 1
+                        chaos.record(
+                            "retransmits",
+                            t=simulated,
+                            sender=sender,
+                            target=target,
+                            seq=seq,
+                            attempt=entry["attempt"],
+                        )
                         messages += 1
                         cross += len(entry["payload"])
                         compute_seconds[sender] += (
@@ -224,13 +245,35 @@ class SyncEngine:
                             + len(entry["payload"]) * cost.tuple_net_cost
                         ) / state.speeds[sender]
                         if chaos.drops(sender, target, simulated):
-                            chaos.stats.dropped_messages += 1
+                            chaos.record(
+                                "dropped_messages",
+                                t=simulated,
+                                sender=sender,
+                                target=target,
+                                seq=seq,
+                            )
                             entry["attempt"] += 1
                             entry["wait"] = min(2 ** entry["attempt"], 8)
+                            if obs.enabled:
+                                obs.trace.emit(
+                                    "net.backoff",
+                                    t=simulated,
+                                    sender=sender,
+                                    target=target,
+                                    seq=seq,
+                                    attempt=entry["attempt"],
+                                    wait_supersteps=entry["wait"],
+                                )
                             continue
                         apply_payload(sender, target, seq, entry["payload"])
                         if chaos.duplicates():
-                            chaos.stats.duplicated_messages += 1
+                            chaos.record(
+                                "duplicated_messages",
+                                t=simulated,
+                                sender=sender,
+                                target=target,
+                                seq=seq,
+                            )
                             apply_payload(sender, target, seq, entry["payload"])
                         del queued[seq]
                     if not queued:
@@ -250,16 +293,38 @@ class SyncEngine:
                         seq = seq_next[sender][target]
                         seq_next[sender][target] = seq + 1
                         if chaos.drops(sender, target, simulated):
-                            chaos.stats.dropped_messages += 1
+                            chaos.record(
+                                "dropped_messages",
+                                t=simulated,
+                                sender=sender,
+                                target=target,
+                                seq=seq,
+                            )
                             retrans_queue.setdefault((sender, target), {})[seq] = {
                                 "payload": payload,
                                 "attempt": 1,
                                 "wait": 1,
                             }
+                            if obs.enabled:
+                                obs.trace.emit(
+                                    "net.backoff",
+                                    t=simulated,
+                                    sender=sender,
+                                    target=target,
+                                    seq=seq,
+                                    attempt=1,
+                                    wait_supersteps=1,
+                                )
                         else:
                             apply_payload(sender, target, seq, payload)
                             if chaos.duplicates():
-                                chaos.stats.duplicated_messages += 1
+                                chaos.record(
+                                    "duplicated_messages",
+                                    t=simulated,
+                                    sender=sender,
+                                    target=target,
+                                    seq=seq,
+                                )
                                 apply_payload(sender, target, seq, payload)
                     if target != sender:
                         messages += 1
@@ -287,37 +352,57 @@ class SyncEngine:
                 + cost.job_overhead
             )
             simulated += superstep
+            if obs.enabled:
+                obs.trace.emit(
+                    "engine.superstep",
+                    t=simulated,
+                    dur=superstep,
+                    round=counters.iterations,
+                    changed=changed,
+                    delta=total_delta,
+                    messages=messages,
+                    tuples=cross,
+                )
+                obs.metrics.observe("superstep.seconds", superstep)
+                obs.metrics.inc("superstep.count")
 
             if (
                 self.checkpoint_every
                 and counters.iterations % self.checkpoint_every == 0
             ):
                 state.checkpoint(self.checkpointer, self.run_name)
+                if obs.enabled:
+                    obs.trace.emit(
+                        "ckpt.write",
+                        t=simulated,
+                        run=self.run_name,
+                        round=counters.iterations,
+                    )
             if (
                 chaos is not None
                 and not selective
                 and counters.iterations % snapshot_every == 0
             ):
                 snapshot = take_snapshot()
-                chaos.stats.checkpoints += 1
+                chaos.record("checkpoints", t=simulated, round=counters.iterations)
 
             crashed = False
             if chaos is not None:
                 while remaining_crashes and remaining_crashes[0].at <= simulated:
                     crash = remaining_crashes.pop(0)
-                    chaos.stats.crashes += 1
+                    chaos.record("crashes", t=crash.at, worker=crash.worker)
                     crashed = True
                     simulated += crash.restart_after
                     if selective:
                         simulated += self._recover_shard(
-                            crash.worker, state, chaos, seen, retrans_queue
+                            crash.worker, state, chaos, seen, retrans_queue, simulated
                         )
                     else:
                         # coordinated rollback: additive deltas replayed from
                         # live state would double count, so every worker
                         # returns to the latest barrier snapshot
-                        chaos.stats.rollbacks += 1
-                        chaos.stats.recoveries += 1
+                        chaos.record("rollbacks", t=simulated, worker=crash.worker)
+                        chaos.record("recoveries", t=simulated, worker=crash.worker)
                         for w, (acc, inter) in enumerate(snapshot["shards"]):
                             shards[w].accumulated = dict(acc)
                             shards[w].intermediate = dict(inter)
@@ -346,7 +431,7 @@ class SyncEngine:
                     # recovery just reset state: convergence is not real yet
                     stop = None
 
-        return EvalResult(
+        result = EvalResult(
             values=state.merged_values(),
             stop_reason=stop,
             counters=counters,
@@ -355,8 +440,14 @@ class SyncEngine:
             trace=tracker.history,
             faults=chaos.stats if chaos is not None else None,
         )
+        if obs.enabled:
+            obs.metrics.absorb_work_counters(counters, engine=result.engine)
+            result.metrics = obs.metrics
+        return result
 
-    def _recover_shard(self, worker, state, chaos, seen, retrans_queue) -> float:
+    def _recover_shard(
+        self, worker, state, chaos, seen, retrans_queue, now=None
+    ) -> float:
         """Single-shard recovery for idempotent aggregates.
 
         Restore the crashed shard from its latest checkpoint (or reseed
@@ -368,12 +459,17 @@ class SyncEngine:
         re-delivered deltas for idempotent aggregates (Theorem 3).
         Returns the simulated seconds the replay costs.
         """
-        chaos.stats.recoveries += 1
+        chaos.record("recoveries", t=now, worker=worker)
         restored = False
         if self.checkpointer is not None:
             restored = state.restore_shard_state(
                 self.checkpointer, self.run_name, worker
             )
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    "ckpt.restore", t=now, run=self.run_name, worker=worker,
+                    restored=restored,
+                )
         if not restored:
             state.reseed_shard(worker)
         # the crashed worker's retransmit buffers and dedup memory died
@@ -400,8 +496,10 @@ class SyncEngine:
                     shards[target].push(dst, fn(value, *params))
                     replay_ops[peer] += 1
                     counters.combines += 1
-                    chaos.stats.replayed_tuples += 1
-        counters.fprime_applications += sum(replay_ops)
+        total_replayed = sum(replay_ops)
+        if total_replayed:
+            chaos.record("replayed_tuples", t=now, n=total_replayed, worker=worker)
+        counters.fprime_applications += total_replayed
         if not any(replay_ops):
             return 0.0
         return max(
@@ -549,17 +647,31 @@ class SyncEngine:
             counters.barriers += 1
             counters.iterations += 1
             stretched = [c * draw_transient() for c in compute_seconds]
-            simulated += (
+            superstep = (
                 max(stretched)
                 + (cost.message_latency if cross else 0.0)
                 + cost.barrier_cost
                 + cost.job_overhead
             )
+            simulated += superstep
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    "engine.superstep",
+                    t=simulated,
+                    dur=superstep,
+                    round=counters.iterations,
+                    changed=changed,
+                    delta=total_delta,
+                    messages=messages,
+                    tuples=cross,
+                )
+                self.obs.metrics.observe("superstep.seconds", superstep)
+                self.obs.metrics.inc("superstep.count")
 
             tracker.record(changed, total_delta)
             stop = tracker.stop_reason()
 
-        return EvalResult(
+        result = EvalResult(
             values=values,
             stop_reason=stop,
             counters=counters,
@@ -567,3 +679,7 @@ class SyncEngine:
             engine=self.engine_name,
             trace=tracker.history,
         )
+        if self.obs.enabled:
+            self.obs.metrics.absorb_work_counters(counters, engine=self.engine_name)
+            result.metrics = self.obs.metrics
+        return result

@@ -61,6 +61,7 @@ class UnifiedEngine(AsyncEngine):
         checkpoint_interval: float = 0.0,
         run_name: str = "unified-run",
         recovery: str = "auto",
+        obs=None,
     ):
         policy = buffer_policy or BufferPolicy(adaptive=True)
         if importance_threshold is None and plan.aggregate.kind is AggregateKind.ADDITIVE:
@@ -76,4 +77,5 @@ class UnifiedEngine(AsyncEngine):
             checkpoint_interval=checkpoint_interval,
             run_name=run_name,
             recovery=recovery,
+            obs=obs,
         )

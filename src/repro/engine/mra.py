@@ -19,6 +19,7 @@ from repro.engine.monotable import MonoTable
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult, WorkCounters
 from repro.engine.termination import TerminationSpec, TerminationTracker
+from repro.obs import ensure_obs
 
 
 def compute_initial_delta(plan: CompiledPlan) -> dict:
@@ -56,9 +57,15 @@ class MRAEvaluator:
 
     engine_name = "mra"
 
-    def __init__(self, plan: CompiledPlan, termination: Optional[TerminationSpec] = None):
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        termination: Optional[TerminationSpec] = None,
+        obs=None,
+    ):
         self.plan = plan
         self.termination = termination or plan.termination
+        self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
 
     def run(self) -> EvalResult:
@@ -89,11 +96,23 @@ class MRAEvaluator:
             self.counters.iterations += 1
             tracker.record(changed, total_delta)
             stop = tracker.stop_reason()
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    "engine.epoch",
+                    engine=self.engine_name,
+                    round=self.counters.iterations,
+                    changed=changed,
+                    delta=total_delta,
+                )
 
-        return EvalResult(
+        result = EvalResult(
             values=table.result(),
             stop_reason=stop,
             counters=self.counters,
             engine=self.engine_name,
             trace=tracker.history,
         )
+        if self.obs.enabled:
+            self.obs.metrics.absorb_work_counters(self.counters, engine=self.engine_name)
+            result.metrics = self.obs.metrics
+        return result

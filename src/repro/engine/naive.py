@@ -30,6 +30,7 @@ from repro.engine.rules import (
     evaluate_rule_bodies,
 )
 from repro.engine.termination import TerminationSpec, TerminationTracker
+from repro.obs import ensure_obs
 
 
 class NaiveEvaluator:
@@ -42,10 +43,12 @@ class NaiveEvaluator:
         analysis: ProgramAnalysis,
         db: Database,
         termination: Optional[TerminationSpec] = None,
+        obs=None,
     ):
         self.analysis = analysis
         self.db = db.copy()
         self.termination = termination or TerminationSpec.from_analysis(analysis)
+        self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
         evaluate_aux_rules(analysis, self.db, counters=self.counters)
         self._iterated_predicate = analysis.head if analysis.iterated else None
@@ -97,11 +100,23 @@ class NaiveEvaluator:
             current = next_values
             tracker.record(changed, total_delta)
             stop = tracker.stop_reason()
+            if self.obs.enabled:
+                self.obs.trace.emit(
+                    "engine.epoch",
+                    engine=self.engine_name,
+                    round=self.counters.iterations,
+                    changed=changed,
+                    delta=total_delta,
+                )
 
-        return EvalResult(
+        result = EvalResult(
             values=current,
             stop_reason=stop,
             counters=self.counters,
             engine=self.engine_name,
             trace=tracker.history,
         )
+        if self.obs.enabled:
+            self.obs.metrics.absorb_work_counters(self.counters, engine=self.engine_name)
+            result.metrics = self.obs.metrics
+        return result

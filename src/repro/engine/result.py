@@ -80,6 +80,11 @@ class EvalResult:
     #: :class:`repro.distributed.chaos.FaultStats`) when the run executed
     #: under a fault schedule; ``None`` for fault-free runs
     faults: Optional[object] = None
+    #: the run's :class:`repro.obs.MetricsRegistry` when the engine ran
+    #: with observability enabled; ``None`` otherwise.  The registry
+    #: generalises :attr:`counters` (which it absorbs as ``work.*``
+    #: counters) with labelled gauges and histograms.
+    metrics: Optional[object] = None
 
     def value(self, key):
         return self.values.get(key)

@@ -1,0 +1,63 @@
+"""The Observability handle engines thread through their run loops."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.trace import TraceRecorder, NULL_TRACE
+
+
+class Observability:
+    """One enabled flag + a metrics registry + a trace recorder.
+
+    Engines store ``self.obs = ensure_obs(obs)`` and guard every
+    instrumentation site with ``if obs.enabled:`` -- the whole cost of
+    the disabled default is that branch.
+    """
+
+    __slots__ = ("enabled", "metrics", "trace")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_path: Optional[str] = None,
+        keep_series: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.enabled = enabled
+        if not enabled:
+            self.metrics = NULL_METRICS
+            self.trace = NULL_TRACE
+        else:
+            self.metrics = metrics or MetricsRegistry(keep_series=keep_series)
+            self.trace = trace or TraceRecorder(trace_path)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    def close(self) -> None:
+        self.trace.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        if not self.enabled:
+            return "Observability(disabled)"
+        return f"Observability({self.metrics!r}, {len(self.trace)} events)"
+
+
+#: the process-wide disabled handle; engines default to it
+NULL_OBS = Observability.disabled()
+
+
+def ensure_obs(obs: Optional[Observability]) -> Observability:
+    """``None`` -> the disabled singleton; anything else passes through."""
+    return NULL_OBS if obs is None else obs

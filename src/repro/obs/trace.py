@@ -1,0 +1,130 @@
+"""Structured trace events (JSONL) on the engines' simulated clock.
+
+An event is one flat dict: ``{"kind": ..., "t": <simulated seconds or
+None>, ...fields}``.  Kinds are namespaced:
+
+* ``engine.superstep`` / ``engine.epoch`` -- one per BSP superstep or
+  async master check (single-node engines emit per-round epochs with
+  ``t=None``; they have no simulated clock);
+* ``buffer.flush`` / ``buffer.beta`` -- per-destination flushes and
+  adaptive ``beta(i,j)`` adjustments;
+* ``net.ack`` / ``net.backoff`` -- delivery acknowledgements and
+  retransmit backoff decisions;
+* ``ckpt.write`` / ``ckpt.restore`` / ``ckpt.shard_write`` /
+  ``ckpt.shard_restore`` -- checkpoint traffic (engine level and disk
+  level);
+* ``fault.<counter>`` -- one per :class:`FaultStats` increment, carrying
+  ``n`` (the increment), so :func:`aggregate_fault_events` reproduces
+  the run's ``FaultStats.snapshot()`` exactly;
+* ``aap.mode`` -- AAP's block/stream mode switches.
+
+Events are recorded in-memory in emission order and, when a path is
+given, streamed to disk one JSON line at a time.  Values that are not
+JSON-serialisable (tuple keys, numpy scalars) are stringified rather
+than dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+class TraceRecorder:
+    """Append-only event recorder with an optional JSONL sink."""
+
+    __slots__ = ("enabled", "events", "path", "_handle")
+
+    def __init__(self, path: Optional[str] = None, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list = []
+        self.path = path
+        self._handle = None
+        if enabled and path is not None:
+            self._handle = open(path, "w", encoding="utf-8")
+
+    def emit(self, kind: str, t: Optional[float] = None, **fields) -> None:
+        if not self.enabled:
+            return
+        event = {"kind": kind, "t": t}
+        event.update(fields)
+        self.events.append(event)
+        if self._handle is not None:
+            json.dump(
+                {key: _jsonable(value) for key, value in event.items()},
+                self._handle,
+            )
+            self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def counts_by_kind(self) -> dict:
+        counts: dict = {}
+        for event in self.events:
+            kind = event["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def of_kind(self, kind: str) -> list:
+        return [event for event in self.events if event["kind"] == kind]
+
+    def __len__(self):
+        return len(self.events)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_jsonl(path: str) -> list:
+    """Load a trace file back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def aggregate_fault_events(events) -> dict:
+    """Sum ``fault.*`` event increments into FaultStats-shaped totals.
+
+    Because every :class:`~repro.distributed.chaos.FaultStats` increment
+    goes through :meth:`FaultInjector.record`, which emits the matching
+    ``fault.<counter>`` event with the increment as ``n``, this
+    aggregation reproduces ``FaultStats.snapshot()`` bit for bit for any
+    traced chaotic run.  Counters that never fired are reported as 0 so
+    the dict compares equal to a snapshot.
+    """
+    from repro.distributed.chaos import FaultStats
+
+    totals = FaultStats().snapshot()  # all-zero template, canonical keys
+    for event in events:
+        kind = event.get("kind", "")
+        if not kind.startswith("fault."):
+            continue
+        name = kind[len("fault."):]
+        if name in totals:
+            totals[name] += event.get("n", 1)
+    return totals
+
+
+#: the shared disabled recorder
+NULL_TRACE = TraceRecorder(enabled=False)

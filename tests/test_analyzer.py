@@ -1,11 +1,10 @@
 """Semantic analysis: G / F' / C extraction and class restrictions."""
 
-import math
 
 import pytest
 
 from repro.datalog import AnalysisError, analyze, parse_program
-from repro.expr import Call, Const, Var
+from repro.expr import Call, Var
 from repro.programs import PROGRAMS
 
 

@@ -1,8 +1,6 @@
 """Benchmark harness: runners, formatting, paper-claim bookkeeping."""
 
-import math
 
-import pytest
 
 from repro.bench import (
     PAPER_FIGURE1,

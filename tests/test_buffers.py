@@ -100,3 +100,59 @@ class TestAdaptiveBuffer:
             buffer.add(i, 1, SUM.combine)
         buffer.observe_flush(now=1.0)
         assert buffer.beta == 64
+
+    def test_zero_length_window_is_ignored(self):
+        buffer = AdaptiveBuffer(self._policy())
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=0.0)  # dT == 0: pace undefined, keep beta
+        assert buffer.beta == 64
+        # the window is not consumed either: the next real flush sees it
+        buffer.observe_flush(now=1.0)
+        assert buffer.beta == 0.8 * 1000
+
+    def test_negative_window_is_ignored(self):
+        buffer = AdaptiveBuffer(self._policy())
+        buffer._window_start = 5.0
+        buffer.add(0, 1, SUM.combine)
+        buffer.observe_flush(now=4.0)  # clock behind the window start
+        assert buffer.beta == 64
+
+    def test_clamp_boundary_exact(self):
+        # pace that computes exactly to min_beta / max_beta stays put
+        policy = self._policy(min_beta=8.0, max_beta=800.0)
+        buffer = AdaptiveBuffer(policy)
+        for i in range(10):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)  # 0.8 * 10 = 8.0 == min_beta
+        assert buffer.beta == 8.0
+        buffer2 = AdaptiveBuffer(policy)
+        for i in range(1000):
+            buffer2.add(i, 1, SUM.combine)
+        buffer2.observe_flush(now=1.0)  # 0.8 * 1000 = 800.0 == max_beta
+        assert buffer2.beta == 800.0
+
+    def test_on_adapt_hook_fires_only_on_change(self):
+        calls = []
+        buffer = AdaptiveBuffer(
+            self._policy(), on_adapt=lambda *args: calls.append(args)
+        )
+        for i in range(64):  # in band: no adaptation, no callback
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)
+        assert calls == []
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=2.0)
+        assert len(calls) == 1
+        now, old, new, pace = calls[0]
+        assert (now, old, new, pace) == (2.0, 64, 800.0, 1000.0)
+
+    def test_on_adapt_not_called_when_clamped_to_same_value(self):
+        calls = []
+        policy = self._policy(min_beta=64, max_beta=64)
+        buffer = AdaptiveBuffer(policy, on_adapt=lambda *args: calls.append(args))
+        for i in range(1000):
+            buffer.add(i, 1, SUM.combine)
+        buffer.observe_flush(now=1.0)  # rule fires, clamp keeps beta == 64
+        assert buffer.beta == 64 and calls == []

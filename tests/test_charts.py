@@ -1,6 +1,5 @@
 """ASCII chart rendering."""
 
-import math
 
 from repro.bench import bar_chart, convergence_chart, grouped_bar_chart, sparkline
 

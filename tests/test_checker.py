@@ -189,7 +189,6 @@ class TestUnknownVerdict:
         assert not report.mra_satisfiable
 
     def test_unknown_routes_to_naive(self):
-        from repro.datalog import analyze, parse_program
         from repro.systems import PowerLog
         from repro.programs import ProgramSpec
         from repro.programs.builders import plain_graph_db

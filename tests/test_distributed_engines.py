@@ -1,6 +1,5 @@
 """Distributed engines: correctness (Theorem 3), timing model, determinism."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Corner cases across modules: symbolic constants, odd graphs, empty data."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Naive, semi-naive and MRA evaluation on the relational/compiled paths."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -7,7 +7,6 @@ unit suite, quickly.
 
 import math
 
-import pytest
 
 from repro.bench import (
     run_buffer_ablation,

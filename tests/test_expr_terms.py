@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.expr import Add, Call, Const, Div, Mul, Neg, Sub, Var, const, var
+from repro.expr import Add, Call, Const, Div, Mul, Neg, Sub, const, var
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Checkpointing and recovery of MonoTable state."""
 
-import math
 import os
 
 import pytest

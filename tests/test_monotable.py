@@ -1,6 +1,5 @@
 """MonoTable semantics (paper Figure 7)."""
 
-import math
 
 from hypothesis import given, strategies as st
 

@@ -6,13 +6,10 @@ import pytest
 
 from repro.datalog import (
     AggregateSpec,
-    ComparisonAtom,
     IterationNext,
     NumberConstant,
     ParseError,
-    PredicateAtom,
     TerminationAtom,
-    Variable,
     Wildcard,
     parse_program,
 )

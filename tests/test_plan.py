@@ -1,10 +1,8 @@
 """Plan compilation: pre-joined edges, parameters, broadcast keys."""
 
-import pytest
 
 from repro.datalog import analyze, parse_program
 from repro.engine import compile_plan
-from repro.graphs import rmat
 from repro.programs import PROGRAMS
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engine import Database
 from repro.graphs import random_dag, rmat
 from repro.programs import PROGRAMS, benchmark_programs, get_program, program_names
 from repro.programs import builders

@@ -1,6 +1,5 @@
 """The documented public API: README quickstart and package exports."""
 
-import pytest
 
 import repro
 

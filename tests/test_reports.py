@@ -1,9 +1,7 @@
 """Checker report objects and system-run metadata."""
 
-import pytest
 
 from repro.checker import CheckReport, PropertyResult, Status, check_analysis
-from repro.programs import PROGRAMS
 from repro.systems.base import SystemRun
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.aggregates import MIN, SUM
-from repro.engine import Comparison, compare_results, tolerance_for
+from repro.engine import compare_results, tolerance_for
 
 
 class TestTolerance:
