@@ -1,0 +1,47 @@
+"""Kernel backend comparison: the runtime layer's acceptance benchmark.
+
+Runs every registered kernel backend over the dense- and sparse-frontier
+programs at the smoke scale *and* at scale >= 0.5, asserts bit-identical
+fixpoints while timing, and writes the committed baseline
+``benchmarks/results/BENCH_kernels.json`` (rows carry backend + numpy
+version).  The qualitative claim guarded here: the vectorized NumPy
+kernel beats the pure-Python reference loop by >= 3x on dense-frontier
+MRA at scale >= 0.5.
+"""
+
+from repro.bench.kernels import (
+    DENSE_PROGRAMS,
+    SPEEDUP_FLOOR,
+    run_kernel_bench,
+    write_kernel_baseline,
+)
+from repro.runtime import HAVE_NUMPY, available_backends
+
+
+def test_kernel_backends(benchmark, bench_scale, save_report):
+    report = benchmark.pedantic(
+        lambda: run_kernel_bench(scale=min(bench_scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    path = write_kernel_baseline(report)
+    print(f"[baseline saved to {path}]")
+
+    backends = available_backends()
+    assert "python" in backends
+    # every row records its backend; numpy rows record the version
+    for row in report.rows:
+        assert row["backend"] in backends
+        assert row["fixpoint_matches"]
+        if row["backend"] == "numpy":
+            assert row["numpy"]
+
+    if not HAVE_NUMPY:
+        return
+    assert "numpy" in backends
+    for program in DENSE_PROGRAMS:
+        assert report.speedups[program] >= SPEEDUP_FLOOR, (
+            f"{program}: numpy kernel only {report.speedups[program]:.1f}x "
+            f"over python (floor {SPEEDUP_FLOOR:.0f}x)"
+        )

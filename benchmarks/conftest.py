@@ -14,6 +14,14 @@ import os
 import pytest
 
 
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Stamp the runtime backend into every benchmark result JSON."""
+    from repro.runtime import numpy_version, resolve_backend
+
+    machine_info["repro_backend"] = resolve_backend(None)
+    machine_info["repro_numpy"] = numpy_version()
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

@@ -27,6 +27,7 @@ from repro.bench.harness import (
     run_engine_micro,
     run_worker_scaling,
 )
+from repro.bench.kernels import run_kernel_bench, write_kernel_baseline
 
 __all__ = [
     "format_table",
@@ -50,4 +51,6 @@ __all__ = [
     "run_priority_ablation",
     "run_engine_micro",
     "run_worker_scaling",
+    "run_kernel_bench",
+    "write_kernel_baseline",
 ]

@@ -1,0 +1,146 @@
+"""Kernel backend benchmark: pure-Python vs vectorized NumPy runtime.
+
+Times the MRA inner loop (the hot path every engine now delegates to a
+:class:`repro.runtime.Kernel`) under both registered backends on the
+same compiled plans, asserts the fixpoints agree *bit for bit* while
+timing, and records the rows -- backend and numpy version included --
+as the committed baseline ``benchmarks/results/BENCH_kernels.json``.
+
+Wall-clock seconds vary with the host; the structure of the claim does
+not: the vectorized backend must beat the reference loop by >= 3x on
+the dense-frontier programs at scale >= 0.5 (``SPEEDUP_FLOOR``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Sequence
+
+from repro.bench.harness import ExperimentReport
+from repro.bench.report import format_table
+from repro.engine.mra import MRAEvaluator
+from repro.graphs import load_dataset
+from repro.programs import PROGRAMS
+from repro.runtime import available_backends, numpy_version
+
+#: acceptance floor for the vectorized backend on dense-frontier MRA
+SPEEDUP_FLOOR = 3.0
+
+#: programs whose frontiers stay dense enough for vectorization to pay;
+#: sparse-frontier programs (sssp) ride along for honest reporting but
+#: are not held to the floor
+DENSE_PROGRAMS = ("pagerank", "katz", "adsorption")
+SPARSE_PROGRAMS = ("sssp", "cc")
+
+BASELINE_PATH = os.path.join("benchmarks", "results", "BENCH_kernels.json")
+
+
+def _time_run(plan_factory, backend: str, repeats: int):
+    """Best-of-``repeats`` wall time of one full MRA run; fresh plan each
+    time so per-plan kernel caches (CSR packing) are paid, not hidden."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        plan = plan_factory()
+        started = time.perf_counter()
+        result = MRAEvaluator(plan, backend=backend).run()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run_kernel_bench(
+    scale: float = 0.25,
+    speedup_scale: float = 0.5,
+    dataset: str = "livej",
+    programs: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> ExperimentReport:
+    """Both backends on every program at ``scale`` and ``speedup_scale``.
+
+    Returns an :class:`ExperimentReport` whose rows carry the backend
+    and numpy version (the bench result JSON contract); the report's
+    ``speedups`` attribute maps dense-frontier programs to their
+    python/numpy ratio at the larger scale.
+    """
+    programs = list(programs or (*DENSE_PROGRAMS, *SPARSE_PROGRAMS))
+    backends = available_backends()
+    scales = sorted({scale, max(scale, speedup_scale)})
+    rows = []
+    timings: dict[tuple, float] = {}
+    for current_scale in scales:
+        graph = load_dataset(dataset, current_scale)
+        for program in programs:
+            spec = PROGRAMS[program]
+            reference_values = None
+            for backend in backends:
+                seconds, result = _time_run(
+                    lambda: spec.plan(graph), backend, repeats
+                )
+                if reference_values is None:
+                    reference_values = result.values
+                elif result.values != reference_values:
+                    raise AssertionError(
+                        f"{program}@{current_scale}: backend {backend!r} "
+                        "fixpoint differs from the reference backend"
+                    )
+                timings[(program, current_scale, backend)] = seconds
+                rows.append(
+                    {
+                        "program": program,
+                        "dataset": dataset,
+                        "scale": current_scale,
+                        "backend": backend,
+                        "numpy": numpy_version() if backend == "numpy" else None,
+                        "seconds": round(seconds, 6),
+                        "iterations": result.counters.iterations,
+                        "fprime": result.counters.fprime_applications,
+                        "fixpoint_matches": True,
+                    }
+                )
+    speedups = {}
+    if "numpy" in backends:
+        check_scale = max(scales)
+        for program in programs:
+            python_seconds = timings[(program, check_scale, "python")]
+            numpy_seconds = timings[(program, check_scale, "numpy")]
+            speedups[program] = round(python_seconds / numpy_seconds, 2)
+    notes = [
+        f"backends: {', '.join(backends)}; numpy {numpy_version() or 'absent'}",
+    ]
+    for program, ratio in speedups.items():
+        floor = (
+            f" (floor {SPEEDUP_FLOOR:.0f}x)" if program in DENSE_PROGRAMS else ""
+        )
+        notes.append(
+            f"{program}@{max(scales)}: numpy {ratio:.1f}x over python{floor}"
+        )
+    text = (
+        "Kernel backends -- MRA inner loop, python vs numpy\n"
+        + format_table(rows)
+        + "\n"
+        + "\n".join(notes)
+    )
+    report = ExperimentReport("kernels", rows, text, notes)
+    report.speedups = speedups  # type: ignore[attr-defined]
+    return report
+
+
+def write_kernel_baseline(report: ExperimentReport, path: str = BASELINE_PATH) -> str:
+    """Persist the committed JSON baseline for ``make smoke-bench``."""
+    payload = {
+        "benchmark": "kernels",
+        "backends": available_backends(),
+        "numpy_version": numpy_version(),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "dense_programs": list(DENSE_PROGRAMS),
+        "speedups": getattr(report, "speedups", {}),
+        "rows": report.rows,
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

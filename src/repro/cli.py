@@ -9,7 +9,11 @@ Commands:
   stand-in under a chosen engine;
 * ``experiment NAME``     -- regenerate a paper table/figure
   (``table1``, ``table2``, ``figure1``, ``figure9``, ``figure10``,
-  ``figure11``, ``buffers``, ``priority``, ``micro``);
+  ``figure11``, ``buffers``, ``priority``, ``micro``, ``scaling``,
+  ``kernels``);
+
+Engine-running commands accept ``--backend {python,numpy}`` to pick the
+vertex-runtime kernel (default: ``REPRO_BACKEND``, else ``python``).
 * ``chaos``               -- run the fault-injection recovery harness:
   chaotic executions (crashes, drops, duplicates, reordering) must
   reach the same fixpoint as fault-free references;
@@ -41,16 +45,25 @@ from repro.distributed import (
 )
 from repro.graphs import compute_stats, dataset_names, load_dataset
 from repro.programs import PROGRAMS, get_program
+from repro.runtime import BACKEND_ENV_VAR, KERNELS
 from repro.systems import PowerLog
 
 _ENGINES = {
-    "sync": lambda plan, cluster, obs=None: SyncEngine(plan, cluster, obs=obs),
-    "naive": lambda plan, cluster, obs=None: SyncEngine(
-        plan, cluster, mode="naive", obs=obs
+    "sync": lambda plan, cluster, obs=None, backend=None: SyncEngine(
+        plan, cluster, obs=obs, backend=backend
     ),
-    "async": lambda plan, cluster, obs=None: AsyncEngine(plan, cluster, obs=obs),
-    "unified": lambda plan, cluster, obs=None: UnifiedEngine(plan, cluster, obs=obs),
-    "aap": lambda plan, cluster, obs=None: AAPEngine(plan, cluster, obs=obs),
+    "naive": lambda plan, cluster, obs=None, backend=None: SyncEngine(
+        plan, cluster, mode="naive", obs=obs, backend=backend
+    ),
+    "async": lambda plan, cluster, obs=None, backend=None: AsyncEngine(
+        plan, cluster, obs=obs, backend=backend
+    ),
+    "unified": lambda plan, cluster, obs=None, backend=None: UnifiedEngine(
+        plan, cluster, obs=obs, backend=backend
+    ),
+    "aap": lambda plan, cluster, obs=None, backend=None: AAPEngine(
+        plan, cluster, obs=obs, backend=backend
+    ),
 }
 
 _EXPERIMENTS = {
@@ -64,6 +77,7 @@ _EXPERIMENTS = {
     "priority": ("run_priority_ablation", {}),
     "micro": ("run_engine_micro", {}),
     "scaling": ("run_worker_scaling", {}),
+    "kernels": ("run_kernel_bench", {}),
 }
 
 
@@ -115,13 +129,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.engine == "powerlog":
         system = PowerLog()
         print(system.decide(spec).summary())
-        result = system.run(spec, graph, cluster)
+        result = system.run(spec, graph, cluster, backend=args.backend)
     else:
         plan = spec.plan(graph)
-        result = _ENGINES[args.engine](plan, cluster).run()
+        result = _ENGINES[args.engine](plan, cluster, backend=args.backend).run()
     print(
         f"{spec.title} on {graph.name} ({graph.num_vertices} vertices, "
-        f"{graph.num_edges} edges), engine={result.engine or args.engine}"
+        f"{graph.num_edges} edges), engine={result.engine or args.engine}, "
+        f"backend={result.backend}"
     )
     print(
         f"  {len(result.values)} result keys, stop={result.stop_reason}, "
@@ -191,6 +206,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             checkpoint_dir=args.checkpoint_dir,
             schedule_kwargs=schedule_kwargs or None,
+            backend=args.backend,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -225,14 +241,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     graph = _observed_graph(args)
     cluster = ClusterConfig(num_workers=args.workers)
     if args.chaos:
-        reference = _ENGINES[args.engine](spec.plan(graph), cluster).run()
+        reference = _ENGINES[args.engine](
+            spec.plan(graph), cluster, backend=args.backend
+        ).run()
         schedule = schedule_for(
             reference.simulated_seconds, cluster.num_workers, seed=args.seed
         )
         cluster = cluster.with_faults(schedule)
         print(f"fault schedule: {schedule.describe()}")
     with Observability(trace_path=args.out) as obs:
-        result = _ENGINES[args.engine](spec.plan(graph), cluster, obs).run()
+        result = _ENGINES[args.engine](
+            spec.plan(graph), cluster, obs, backend=args.backend
+        ).run()
     events = obs.trace.events
     print(
         f"{spec.title} on {graph.name}, engine={result.engine}, "
@@ -271,7 +291,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     graph = _observed_graph(args)
     cluster = ClusterConfig(num_workers=args.workers)
     obs = Observability()
-    result = _ENGINES[args.engine](spec.plan(graph), cluster, obs).run()
+    result = _ENGINES[args.engine](
+        spec.plan(graph), cluster, obs, backend=args.backend
+    ).run()
     metrics = result.metrics
     print(
         f"{spec.title} on {graph.name}, engine={result.engine}, "
@@ -326,6 +348,17 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend(subparser) -> None:
+    subparser.add_argument(
+        "--backend",
+        choices=sorted(KERNELS),
+        help=(
+            "execution kernel for the vertex runtime (default: the "
+            f"{BACKEND_ENV_VAR} environment variable, else 'python')"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -352,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=16)
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--top", type=int, default=0, help="print the top-N results")
+    _add_backend(run)
     run.set_defaults(func=cmd_run)
 
     experiment = commands.add_parser(
@@ -405,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "-v", "--verbose", action="store_true", help="print per-run fault counters"
     )
+    _add_backend(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     def _obs_common(subparser, default_engine):
@@ -420,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--scale", type=float, default=1.0)
         subparser.add_argument("--workers", type=int, default=4)
         subparser.add_argument("--seed", type=int, default=7)
+        _add_backend(subparser)
 
     trace = commands.add_parser(
         "trace", help="run a program with structured trace events enabled"

@@ -46,6 +46,7 @@ class AAPEngine(AsyncEngine):
         run_name: str = "aap-run",
         recovery: str = "auto",
         obs=None,
+        backend: Optional[str] = None,
     ):
         policy = BufferPolicy(
             initial_beta=fixed_buffer_size, adaptive=False
@@ -61,6 +62,7 @@ class AAPEngine(AsyncEngine):
             run_name=run_name,
             recovery=recovery,
             obs=obs,
+            backend=backend,
         )
         self.stream_batch = stream_batch
         self.block_batch = block_batch

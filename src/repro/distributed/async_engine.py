@@ -60,6 +60,7 @@ from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
+from repro.runtime import record_backend_metrics
 
 
 class AsyncEngine:
@@ -80,10 +81,12 @@ class AsyncEngine:
         run_name: str = "async-run",
         recovery: str = "auto",
         obs=None,
+        backend: Optional[str] = None,
     ):
         if recovery not in ("auto", "local", "global"):
             raise ValueError(f"unknown recovery mode {recovery!r}")
         self.obs = ensure_obs(obs)
+        self.backend = backend
         self.plan = plan
         self.cluster = cluster or ClusterConfig()
         self.buffer_policy = buffer_policy or BufferPolicy(adaptive=False)
@@ -144,7 +147,7 @@ class AsyncEngine:
         cost = cluster.cost
         obs = self.obs
         num_workers = cluster.num_workers
-        state = ShardedRun(plan, cluster)
+        state = ShardedRun(plan, cluster, backend=self.backend)
         restored = False
         if self.checkpointer is not None:
             restored = state.restore(self.checkpointer, self.run_name)
@@ -358,15 +361,20 @@ class AsyncEngine:
                 busy_until[worker] = finish
                 schedule_timer_if_buffered(worker, finish)
                 return
-            ops = 0
             send_cpu_total = 0.0
 
-            def eager_flush(target, buffer):
-                # real engines flush a full buffer mid-stream: the size
-                # knob beta is exactly the communication frequency the
-                # unified engine adapts (section 5.3)
+            def emit(dst, value, ops_so_far):
+                # foreign-edge contribution: buffer it, flushing mid-batch
+                # when full -- the size knob beta is exactly the
+                # communication frequency the unified engine adapts
+                # (section 5.3)
                 nonlocal send_cpu_total
-                moment = time + ops * cost.tuple_cost / speeds[worker]
+                target = owner[dst]
+                buffer = buffers[worker][target]
+                buffer.add(dst, value, combine)
+                if buffer.pending_count < buffer.beta:
+                    return
+                moment = time + ops_so_far * cost.tuple_cost / speeds[worker]
                 payload = buffer.flush(moment)
                 buffer.observe_flush(moment)
                 if obs.enabled:
@@ -382,30 +390,10 @@ class AsyncEngine:
                 send_cpu_total += send_cpu
                 transmit(worker, target, payload, moment + send_cpu)
 
-            for key in batch:
-                tmp = shard.fetch_and_reset(key)
-                if tmp is None:
-                    continue
-                did_change, magnitude = shard.accumulate(key, tmp)
-                ops += 1
-                if not did_change:
-                    continue
-                progress_magnitude += magnitude
-                progress_updates += 1
-                counters.updates += 1
-                for dst, params, fn in plan.edges_from(key):
-                    value = fn(tmp, *params)
-                    ops += 1
-                    target = owner[dst]
-                    if target == worker:
-                        shard.push(dst, value)
-                        counters.combines += 1
-                    else:
-                        buffer = buffers[worker][target]
-                        buffer.add(dst, value, combine)
-                        if buffer.pending_count >= buffer.beta:
-                            eager_flush(target, buffer)
-            counters.fprime_applications += ops
+            batch_result = shard.apply_batch(keys=batch, emit=emit)
+            ops = batch_result.ops
+            progress_magnitude += batch_result.magnitude
+            progress_updates += batch_result.changed
             self._observe_processing(worker, len(batch))
             stretch = draw_transient()
             if chaos is not None:
@@ -464,7 +452,6 @@ class AsyncEngine:
             shard = shards[target]
             for dst, value in payload.items():
                 shard.push(dst, value)
-                counters.combines += 1
             self._observe_delivery(target, len(payload))
             schedule_worker(target, time)
 
@@ -506,9 +493,7 @@ class AsyncEngine:
 
         def take_snapshot() -> dict:
             return {
-                "shards": [
-                    (dict(s.accumulated), dict(s.intermediate)) for s in shards
-                ],
+                "shards": [s.snapshot() for s in shards],
                 "buffers": [
                     {
                         t: (dict(b.pending), b.pending_count, b.last_flush_time, b.beta)
@@ -563,9 +548,7 @@ class AsyncEngine:
                 rbuffer.clear()
             for sender_seen in seen[worker]:
                 sender_seen.clear()
-            state.shards[worker] = type(shards[worker])(
-                aggregate, {}, keys=state.shard_keys[worker]
-            )
+            state.shards[worker] = state.blank_shard(worker)
             schedule(time + crash.restart_after, "restart", worker)
 
         def handle_restart(worker: int, time: float) -> None:
@@ -608,7 +591,6 @@ class AsyncEngine:
                         ops += 1
                         if target == peer:
                             source.push(dst, contribution)
-                            counters.combines += 1
                         else:
                             box = outbound.setdefault(target, {})
                             if dst in box:
@@ -638,9 +620,8 @@ class AsyncEngine:
             chaos.record("rollbacks", t=time)
             snap = latest_snapshot[0]
             resume = time + restart_after
-            for w, (acc, inter) in enumerate(snap["shards"]):
-                shards[w].accumulated = dict(acc)
-                shards[w].intermediate = dict(inter)
+            for w, shard_snap in enumerate(snap["shards"]):
+                shards[w].restore(shard_snap)
             for w, snap_buffers in enumerate(snap["buffers"]):
                 for t, (pending, count, last_flush, beta) in snap_buffers.items():
                     buffer = buffers[w][t]
@@ -813,8 +794,10 @@ class AsyncEngine:
             engine=self.engine_name,
             trace=tracker.history,
             faults=chaos.stats if chaos is not None else None,
+            backend=state.backend,
         )
         if obs.enabled:
             obs.metrics.absorb_work_counters(counters, engine=self.engine_name)
+            record_backend_metrics(obs.metrics, self.engine_name, state.backend)
             result.metrics = obs.metrics
         return result

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-import numpy as np
+from repro.runtime.compat import np
 
 from repro.obs import ensure_obs
 

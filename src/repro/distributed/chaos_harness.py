@@ -123,7 +123,7 @@ def schedule_for(
     )
 
 
-def _build_engine(engine: str, plan, cluster, checkpoint_dir, run_name):
+def _build_engine(engine: str, plan, cluster, checkpoint_dir, run_name, backend=None):
     if engine == "sync":
         if checkpoint_dir is not None:
             return SyncEngine(
@@ -132,8 +132,9 @@ def _build_engine(engine: str, plan, cluster, checkpoint_dir, run_name):
                 checkpointer=Checkpointer(checkpoint_dir),
                 checkpoint_every=4,
                 run_name=run_name,
+                backend=backend,
             )
-        return SyncEngine(plan, cluster)
+        return SyncEngine(plan, cluster, backend=backend)
     factory = {"async": AsyncEngine, "unified": UnifiedEngine, "aap": AAPEngine}
     if engine not in factory:
         raise ValueError(
@@ -145,8 +146,9 @@ def _build_engine(engine: str, plan, cluster, checkpoint_dir, run_name):
             cluster,
             checkpointer=Checkpointer(checkpoint_dir),
             run_name=run_name,
+            backend=backend,
         )
-    return factory[engine](plan, cluster)
+    return factory[engine](plan, cluster, backend=backend)
 
 
 def default_graph(program_name: str, seed: int = 7):
@@ -174,6 +176,7 @@ def run_chaos(
     checkpoint_dir: Optional[str] = None,
     tolerance: Optional[float] = None,
     schedule_kwargs: Optional[dict] = None,
+    backend: Optional[str] = None,
 ) -> ChaosReport:
     """Compare a chaotic run against the fault-free reference.
 
@@ -192,7 +195,7 @@ def run_chaos(
     cluster = cluster or ClusterConfig(num_workers=4)
 
     reference = _build_engine(
-        engine, spec.plan(graph), cluster, None, "chaos-ref"
+        engine, spec.plan(graph), cluster, None, "chaos-ref", backend=backend
     ).run()
 
     if schedule is None:
@@ -213,6 +216,7 @@ def run_chaos(
         cluster.with_faults(schedule),
         checkpoint_dir,
         run_name,
+        backend=backend,
     ).run()
 
     max_error = 0.0
@@ -249,6 +253,7 @@ def run_matrix(
     seed: int = 7,
     checkpoint_dir: Optional[str] = None,
     schedule_kwargs: Optional[dict] = None,
+    backend: Optional[str] = None,
 ) -> list:
     """The acceptance matrix: every program x engine pair must agree."""
     reports = []
@@ -263,6 +268,7 @@ def run_matrix(
                     seed=seed,
                     checkpoint_dir=checkpoint_dir,
                     schedule_kwargs=schedule_kwargs,
+                    backend=backend,
                 )
             )
     return reports

@@ -1,25 +1,33 @@
 """Shared sharding scaffolding for the distributed engines.
 
-A :class:`ShardedRun` owns the per-worker MonoTable shards, the
-partition map, and the seeded initial deltas; every engine (sync, async,
-unified, AAP) starts from one.
+A :class:`ShardedRun` owns the per-worker vertex-runtime kernels (one
+:class:`repro.runtime.Kernel` per simulated worker), the partition map,
+and the seeded initial deltas; every engine (sync, async, unified, AAP)
+starts from one.  All shards share the run's :class:`WorkCounters`, so
+work accounting is uniform regardless of which worker did the work.
 """
 
 from __future__ import annotations
 
+from typing import Optional
 
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.partition import HashPartitioner
-from repro.engine.monotable import MonoTable
 from repro.engine.mra import compute_initial_delta
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import WorkCounters
+from repro.runtime import Kernel, get_kernel, resolve_backend
 
 
 class ShardedRun:
     """Plan state partitioned across the simulated workers."""
 
-    def __init__(self, plan: CompiledPlan, cluster: ClusterConfig):
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        cluster: ClusterConfig,
+        backend: Optional[str] = None,
+    ):
         self.plan = plan
         self.cluster = cluster
         self.partitioner = HashPartitioner(cluster.num_workers)
@@ -28,33 +36,43 @@ class ShardedRun:
         }
         self.speeds = cluster.worker_speeds()
         self.counters = WorkCounters()
+        self.backend = resolve_backend(backend)
+        self.kernel_cls = get_kernel(self.backend)
 
-        aggregate = plan.aggregate
-        self.shards: list[MonoTable] = []
         shard_keys: list[set] = [set() for _ in range(cluster.num_workers)]
         for key, worker in self.owner.items():
             shard_keys[worker].add(key)
-        for worker in range(cluster.num_workers):
-            self.shards.append(
-                MonoTable(aggregate, plan.initial, keys=shard_keys[worker])
-            )
         self.shard_keys = shard_keys
+        self.shards: list[Kernel] = [
+            self._make_shard(worker) for worker in range(cluster.num_workers)
+        ]
+
+    def _make_shard(self, worker: int, initial: Optional[dict] = None) -> Kernel:
+        """A fresh kernel for one worker's partition (``X⁰`` by default)."""
+        return self.kernel_cls.from_plan(
+            self.plan,
+            keys=self.shard_keys[worker],
+            counters=self.counters,
+            initial=initial,
+        )
+
+    def blank_shard(self, worker: int) -> Kernel:
+        """An empty kernel for the partition (crash-recovery scratch state)."""
+        return self._make_shard(worker, initial={})
 
     def seed_initial_delta(self) -> None:
         """Distribute ``ΔX¹`` (section 3.3) to its owners' shards."""
         for key, value in compute_initial_delta(self.plan).items():
             self.shards[self.owner[key]].push(key, value)
 
-    def reseed_shard(self, shard_id: int) -> MonoTable:
+    def reseed_shard(self, shard_id: int) -> Kernel:
         """Rebuild one shard from scratch: ``X⁰`` plus its slice of ``ΔX¹``.
 
         Crash recovery falls back to this when no (readable) checkpoint
         exists -- the constant part ``C`` regenerates the shard's seed
         deltas, and peer replay regenerates everything derived.
         """
-        shard = MonoTable(
-            self.plan.aggregate, self.plan.initial, keys=self.shard_keys[shard_id]
-        )
+        shard = self._make_shard(shard_id)
         for key, value in compute_initial_delta(self.plan).items():
             if self.owner[key] == shard_id:
                 shard.push(key, value)
@@ -68,7 +86,7 @@ class ShardedRun:
         return merged
 
     def total_pending(self) -> int:
-        return sum(len(shard.intermediate) for shard in self.shards)
+        return sum(shard.pending_count() for shard in self.shards)
 
     def checkpoint_meta(self) -> dict:
         """Run-compatibility facts recorded in (and checked against) checkpoints."""
@@ -87,7 +105,7 @@ class ShardedRun:
     def restore(self, checkpointer, run_name: str) -> bool:
         """Reload every shard from a checkpoint; False when none exists.
 
-        Restores into scratch tables first so a half-unreadable
+        Restores into scratch kernels first so a half-unreadable
         checkpoint set never leaves the run partially overwritten.
 
         For idempotent aggregates the restore finishes with a boundary
@@ -108,11 +126,9 @@ class ShardedRun:
         ):
             return False
         meta = self.checkpoint_meta()
-        fresh: list[MonoTable] = []
+        fresh: list[Kernel] = []
         for shard_id in range(len(self.shards)):
-            table = MonoTable(
-                self.plan.aggregate, {}, keys=self.shard_keys[shard_id]
-            )
+            table = self.blank_shard(shard_id)
             if not checkpointer.restore_shard(
                 run_name, shard_id, table, expect_meta=meta
             ):
@@ -138,13 +154,12 @@ class ShardedRun:
                 for dst, params, fn in plan.edges_from(key):
                     self.shards[self.owner[dst]].push(dst, fn(value, *params))
                     replayed += 1
-                    self.counters.combines += 1
         self.counters.fprime_applications += replayed
         return replayed
 
     def restore_shard_state(self, checkpointer, run_name: str, shard_id: int) -> bool:
         """Restore a single crashed shard from its latest checkpoint."""
-        table = MonoTable(self.plan.aggregate, {}, keys=self.shard_keys[shard_id])
+        table = self.blank_shard(shard_id)
         if not checkpointer.restore_shard(
             run_name, shard_id, table, expect_meta=self.checkpoint_meta()
         ):

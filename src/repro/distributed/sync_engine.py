@@ -42,6 +42,7 @@ from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
+from repro.runtime import record_backend_metrics
 
 
 class SyncEngine:
@@ -59,6 +60,7 @@ class SyncEngine:
         checkpoint_every: int = 0,
         run_name: str = "sync-run",
         obs=None,
+        backend: Optional[str] = None,
     ):
         if mode not in ("incremental", "naive"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -84,6 +86,7 @@ class SyncEngine:
         self.checkpoint_every = checkpoint_every
         self.run_name = run_name
         self.obs = ensure_obs(obs)
+        self.backend = backend
 
     def run(self) -> EvalResult:
         if self.mode == "incremental":
@@ -96,7 +99,7 @@ class SyncEngine:
         cluster = self.cluster
         cost = cluster.cost
         obs = self.obs
-        state = ShardedRun(plan, cluster)
+        state = ShardedRun(plan, cluster, backend=self.backend)
         restored = False
         if self.checkpointer is not None:
             restored = state.restore(self.checkpointer, self.run_name)
@@ -108,7 +111,6 @@ class SyncEngine:
             state.seed_initial_delta()
         counters = state.counters
         aggregate = plan.aggregate
-        combine = aggregate.combine
         owner = state.owner
         shards = state.shards
         num_workers = cluster.num_workers
@@ -147,13 +149,10 @@ class SyncEngine:
                 shard = shards[target]
                 for dst, value in payload.items():
                     shard.push(dst, value)
-                    counters.combines += 1
 
             def take_snapshot() -> dict:
                 return {
-                    "shards": [
-                        (dict(s.accumulated), dict(s.intermediate)) for s in shards
-                    ],
+                    "shards": [s.snapshot() for s in shards],
                     "retrans": {
                         pair: {
                             seq: dict(entry) for seq, entry in queued.items()
@@ -177,15 +176,9 @@ class SyncEngine:
             batches: list[dict] = []
             if self.delta_stepping:
                 threshold = self._bucket_threshold(shards)
-                for shard in shards:
-                    take = {
-                        key: value
-                        for key, value in shard.intermediate.items()
-                        if value <= threshold
-                    }
-                    for key in take:
-                        del shard.intermediate[key]
-                    batches.append(take)
+                batches = [
+                    shard.take_pending_below(threshold) for shard in shards
+                ]
             else:
                 batches = [shard.drain_all() for shard in shards]
 
@@ -197,27 +190,16 @@ class SyncEngine:
             changed = 0
             total_delta = 0.0
             for worker, batch in enumerate(batches):
-                ops = 0
                 shard = shards[worker]
+                round_result = shard.apply_batch(batch)
+                changed += round_result.changed
+                total_delta += round_result.magnitude
                 boxes = outboxes[worker]
-                for key, tmp in batch.items():
-                    did_change, magnitude = shard.accumulate(key, tmp)
-                    ops += 1
-                    if not did_change:
-                        continue
-                    changed += 1
-                    total_delta += magnitude
-                    counters.updates += 1
-                    for dst, params, fn in plan.edges_from(key):
-                        value = fn(tmp, *params)
-                        ops += 1
-                        box = boxes[owner[dst]]
-                        if dst in box:
-                            box[dst] = combine(box[dst], value)
-                        else:
-                            box[dst] = value
-                counters.fprime_applications += ops
-                compute_seconds[worker] += ops * cost.tuple_cost / state.speeds[worker]
+                for dst, value in round_result.out_deltas.items():
+                    boxes[owner[dst]][dst] = value
+                compute_seconds[worker] += (
+                    round_result.ops * cost.tuple_cost / state.speeds[worker]
+                )
 
             # exchange: deliver payloads, charging per-message CPU on senders
             cross = 0
@@ -288,7 +270,6 @@ class SyncEngine:
                         shard = shards[target]
                         for dst, value in payload.items():
                             shard.push(dst, value)
-                            counters.combines += 1
                     else:
                         seq = seq_next[sender][target]
                         seq_next[sender][target] = seq + 1
@@ -403,9 +384,8 @@ class SyncEngine:
                         # returns to the latest barrier snapshot
                         chaos.record("rollbacks", t=simulated, worker=crash.worker)
                         chaos.record("recoveries", t=simulated, worker=crash.worker)
-                        for w, (acc, inter) in enumerate(snapshot["shards"]):
-                            shards[w].accumulated = dict(acc)
-                            shards[w].intermediate = dict(inter)
+                        for w, shard_snap in enumerate(snapshot["shards"]):
+                            shards[w].restore(shard_snap)
                         retrans_queue.clear()
                         retrans_queue.update(
                             {
@@ -439,9 +419,11 @@ class SyncEngine:
             engine=self.engine_name + ("+delta-step" if self.delta_stepping else ""),
             trace=tracker.history,
             faults=chaos.stats if chaos is not None else None,
+            backend=state.backend,
         )
         if obs.enabled:
             obs.metrics.absorb_work_counters(counters, engine=result.engine)
+            record_backend_metrics(obs.metrics, result.engine, state.backend)
             result.metrics = obs.metrics
         return result
 
@@ -495,7 +477,6 @@ class SyncEngine:
                         continue
                     shards[target].push(dst, fn(value, *params))
                     replay_ops[peer] += 1
-                    counters.combines += 1
         total_replayed = sum(replay_ops)
         if total_replayed:
             chaos.record("replayed_tuples", t=now, n=total_replayed, worker=worker)
@@ -508,11 +489,9 @@ class SyncEngine:
         )
 
     def _bucket_threshold(self, shards) -> float:
-        smallest = math.inf
-        for shard in shards:
-            for value in shard.intermediate.values():
-                if value < smallest:
-                    smallest = value
+        smallest = min(
+            (shard.pending_min() for shard in shards), default=math.inf
+        )
         return smallest + self.delta_width
 
     # -- naive mode ------------------------------------------------------------
@@ -520,7 +499,7 @@ class SyncEngine:
         plan = self.plan
         cluster = self.cluster
         cost = cluster.cost
-        state = ShardedRun(plan, cluster)
+        state = ShardedRun(plan, cluster, backend=self.backend)
         counters = state.counters
         aggregate = plan.aggregate
         combine = aggregate.combine
@@ -546,20 +525,19 @@ class SyncEngine:
             ops_by_worker = [0] * num_workers
             pair_tuples = [[0] * num_workers for _ in range(num_workers)]
             # push phase: every key with a value sends F'(x) on all edges
-            for src, value in values.items():
+            for src, dst, contribution in state.kernel_cls.full_contributions(
+                plan, values
+            ):
                 worker = owner[src]
-                edges = plan.edges_from(src)
-                ops_by_worker[worker] += len(edges)
-                for dst, params, fn in edges:
-                    contribution = fn(value, *params)
-                    target = owner[dst]
-                    pair_tuples[worker][target] += 1
-                    inbox = inboxes[target]
-                    if dst in inbox:
-                        inbox[dst] = combine(inbox[dst], contribution)
-                    else:
-                        inbox[dst] = contribution
+                ops_by_worker[worker] += 1
+                target = owner[dst]
+                pair_tuples[worker][target] += 1
+                inbox = inboxes[target]
+                if dst in inbox:
+                    inbox[dst] = combine(inbox[dst], contribution)
                     counters.combines += 1
+                else:
+                    inbox[dst] = contribution
             counters.fprime_applications += sum(ops_by_worker)
             cross = sum(
                 pair_tuples[s][t]
@@ -678,8 +656,10 @@ class SyncEngine:
             simulated_seconds=simulated,
             engine=self.engine_name,
             trace=tracker.history,
+            backend=state.backend,
         )
         if self.obs.enabled:
             self.obs.metrics.absorb_work_counters(counters, engine=self.engine_name)
+            record_backend_metrics(self.obs.metrics, self.engine_name, state.backend)
             result.metrics = self.obs.metrics
         return result

@@ -62,6 +62,7 @@ class UnifiedEngine(AsyncEngine):
         run_name: str = "unified-run",
         recovery: str = "auto",
         obs=None,
+        backend: Optional[str] = None,
     ):
         policy = buffer_policy or BufferPolicy(adaptive=True)
         if importance_threshold is None and plan.aggregate.kind is AggregateKind.ADDITIVE:
@@ -78,4 +79,5 @@ class UnifiedEngine(AsyncEngine):
             run_name=run_name,
             recovery=recovery,
             obs=obs,
+            backend=backend,
         )

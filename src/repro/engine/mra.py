@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.engine.monotable import MonoTable
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult, WorkCounters
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
 
 
 def compute_initial_delta(plan: CompiledPlan) -> dict:
@@ -62,57 +62,45 @@ class MRAEvaluator:
         plan: CompiledPlan,
         termination: Optional[TerminationSpec] = None,
         obs=None,
+        backend: Optional[str] = None,
     ):
         self.plan = plan
         self.termination = termination or plan.termination
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
+        self.backend = resolve_backend(backend)
 
     def run(self) -> EvalResult:
         plan = self.plan
-        aggregate = plan.aggregate
-        table = MonoTable(aggregate, plan.initial)
-        table.push_many(compute_initial_delta(plan).items())
+        kernel = get_kernel(self.backend).from_plan(plan, counters=self.counters)
+        kernel.push_many(compute_initial_delta(plan).items())
 
         tracker = TerminationTracker(self.termination)
         stop = None
         while stop is None:
-            round_deltas = table.drain_all()
-            changed = 0
-            total_delta = 0.0
-            for key, tmp in round_deltas.items():
-                did_change, magnitude = table.accumulate(key, tmp)
-                self.counters.combines += 1
-                if not did_change:
-                    continue  # idempotent aggregate: nothing improved
-                changed += 1
-                total_delta += magnitude
-                self.counters.updates += 1
-                edges = plan.edges_from(key)
-                self.counters.fprime_applications += len(edges)
-                for dst, params, fn in edges:
-                    table.push(dst, fn(tmp, *params))
-                    self.counters.combines += 1
+            round_result = kernel.step()
             self.counters.iterations += 1
-            tracker.record(changed, total_delta)
+            tracker.record(round_result.changed, round_result.magnitude)
             stop = tracker.stop_reason()
             if self.obs.enabled:
                 self.obs.trace.emit(
                     "engine.epoch",
                     engine=self.engine_name,
                     round=self.counters.iterations,
-                    changed=changed,
-                    delta=total_delta,
+                    changed=round_result.changed,
+                    delta=round_result.magnitude,
                 )
 
         result = EvalResult(
-            values=table.result(),
+            values=kernel.result(),
             stop_reason=stop,
             counters=self.counters,
             engine=self.engine_name,
             trace=tracker.history,
+            backend=self.backend,
         )
         if self.obs.enabled:
             self.obs.metrics.absorb_work_counters(self.counters, engine=self.engine_name)
+            record_backend_metrics(self.obs.metrics, self.engine_name, self.backend)
             result.metrics = self.obs.metrics
         return result

@@ -25,12 +25,12 @@ from repro.engine.common import (
 from repro.engine.relation import Database
 from repro.engine.result import EvalResult, WorkCounters
 from repro.engine.rules import (
-    aggregate_contributions,
     evaluate_aux_rules,
     evaluate_rule_bodies,
 )
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
 
 
 class NaiveEvaluator:
@@ -44,18 +44,21 @@ class NaiveEvaluator:
         db: Database,
         termination: Optional[TerminationSpec] = None,
         obs=None,
+        backend: Optional[str] = None,
     ):
         self.analysis = analysis
         self.db = db.copy()
         self.termination = termination or TerminationSpec.from_analysis(analysis)
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
+        self.backend = resolve_backend(backend)
         evaluate_aux_rules(analysis, self.db, counters=self.counters)
         self._iterated_predicate = analysis.head if analysis.iterated else None
 
     def run(self) -> EvalResult:
         analysis = self.analysis
         aggregate = analysis.aggregate
+        kernel_cls = get_kernel(self.backend)
         rec_rule = recursive_rule(analysis)
         recursive_bodies = [spec.body for spec in analysis.recursions]
 
@@ -80,8 +83,9 @@ class NaiveEvaluator:
                 )
             )
             self.counters.fprime_applications += len(contributions)
-            next_values = aggregate_contributions(aggregate, contributions)
-            self.counters.combines += len(contributions)
+            next_values = kernel_cls.fold_contributions(
+                aggregate, contributions, self.counters
+            )
 
             changed = 0
             total_delta = 0.0
@@ -115,8 +119,10 @@ class NaiveEvaluator:
             counters=self.counters,
             engine=self.engine_name,
             trace=tracker.history,
+            backend=self.backend,
         )
         if self.obs.enabled:
             self.obs.metrics.absorb_work_counters(self.counters, engine=self.engine_name)
+            record_backend_metrics(self.obs.metrics, self.engine_name, self.backend)
             result.metrics = self.obs.metrics
         return result

@@ -74,6 +74,8 @@ class EvalResult:
     simulated_seconds: Optional[float] = None
     #: engine label for reports ("naive+sync", "mra+async", ...)
     engine: str = ""
+    #: execution-kernel backend that produced the run ("python", "numpy")
+    backend: str = "python"
     #: convergence trace: (changed_keys, total_delta) per round/check
     trace: list = field(default_factory=list)
     #: fault-injection and recovery accounting (a

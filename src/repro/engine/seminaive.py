@@ -27,6 +27,7 @@ from repro.engine.rules import (
 )
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
 
 
 class UnsupportedProgramError(ValueError):
@@ -44,6 +45,7 @@ class SemiNaiveEvaluator:
         db: Database,
         termination: Optional[TerminationSpec] = None,
         obs=None,
+        backend: Optional[str] = None,
     ):
         if analysis.aggregate.kind is not AggregateKind.SELECTIVE:
             raise UnsupportedProgramError(
@@ -56,12 +58,14 @@ class SemiNaiveEvaluator:
         self.termination = termination or TerminationSpec.from_analysis(analysis)
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
+        self.backend = resolve_backend(backend)
         evaluate_aux_rules(analysis, self.db, counters=self.counters)
         self._iterated_predicate = analysis.head if analysis.iterated else None
 
     def run(self) -> EvalResult:
         analysis = self.analysis
         aggregate = analysis.aggregate
+        kernel_cls = get_kernel(self.backend)
         rec_rule = recursive_rule(analysis)
         recursive_bodies = [spec.body for spec in analysis.recursions]
 
@@ -88,19 +92,10 @@ class SemiNaiveEvaluator:
             )
             self.counters.fprime_applications += len(contributions)
 
-            changed: dict = {}
+            changed = kernel_cls.improve_contributions(
+                aggregate, current, contributions, self.counters
+            )
             total_delta = 0.0
-            for key, value in contributions:
-                old = current.get(key)
-                self.counters.combines += 1
-                if old is not None and aggregate.combine(old, value) == old:
-                    continue  # idempotent aggregate: no improvement, prune
-                best = changed.get(key)
-                if best is None:
-                    improved = value if old is None else aggregate.combine(old, value)
-                else:
-                    improved = aggregate.combine(best, value)
-                changed[key] = improved
             for key, value in changed.items():
                 old = current.get(key)
                 total_delta += abs(value - old) if old is not None else abs(value)
@@ -126,8 +121,10 @@ class SemiNaiveEvaluator:
             counters=self.counters,
             engine=self.engine_name,
             trace=tracker.history,
+            backend=self.backend,
         )
         if self.obs.enabled:
             self.obs.metrics.absorb_work_counters(self.counters, engine=self.engine_name)
+            record_backend_metrics(self.obs.metrics, self.engine_name, self.backend)
             result.metrics = self.obs.metrics
         return result

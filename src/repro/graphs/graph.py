@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
-import numpy as np
+from repro.runtime.compat import np
 
 from repro.engine.relation import Database
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-import numpy as np
+from repro.runtime.compat import np
 
 from repro.graphs.graph import Graph
 

@@ -12,7 +12,7 @@ relations for SimRank.
 
 from __future__ import annotations
 
-import numpy as np
+from repro.runtime.compat import np
 
 from repro.engine.relation import Database
 from repro.graphs.graph import Graph

@@ -6,7 +6,7 @@ import heapq
 from collections import deque
 from typing import Iterable, Mapping
 
-import numpy as np
+from repro.runtime.compat import np
 
 from repro.graphs.graph import Graph
 

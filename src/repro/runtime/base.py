@@ -1,0 +1,293 @@
+"""The vertex-runtime kernel contract.
+
+A :class:`Kernel` owns one partition of MonoTable state (the
+accumulation and intermediate columns of paper Figure 7) together with
+the recursive inner loop over it: fetch pending deltas, combine them
+into the accumulation column with ``G``, apply ``F'`` along the
+compiled plan's out-edges, and route the resulting contributions.  The
+engines -- single-node MRA and all four distributed modes -- only
+*schedule* kernels; they no longer touch per-vertex state themselves.
+
+Two interchangeable backends implement the contract:
+
+* :class:`~repro.runtime.python_kernel.PythonKernel` -- the reference
+  dict-based loop (a lift of the original MonoTable code paths);
+* :class:`~repro.runtime.numpy_kernel.NumpyKernel` -- CSR-packed edges
+  with vectorised batch aggregation.
+
+Both are engineered to be *bit-identical*: same fixpoint values, same
+``WorkCounters``, same simulated timing, same fault accounting (see
+DESIGN.md, "Runtime layer").  The backend is chosen per engine
+(``backend=``), per process (``REPRO_BACKEND``), or per CLI invocation
+(``--backend``).
+
+Unified work accounting
+-----------------------
+
+Historically the sync engine counted ``fprime_applications`` as
+*accumulates + edge applications* while MRA and async counted slightly
+different mixes.  The kernel is now the single place counters are
+incremented, with one meaning everywhere:
+
+* ``fprime_applications`` -- number of ``F'`` edge applications;
+* ``combines`` -- number of times the binary ``g`` actually executed
+  (accumulating onto an existing entry, folding an outbox, pushing onto
+  a non-empty intermediate entry);
+* ``updates`` -- accumulation-column entries that changed.
+
+The simulated cost models keep their original currency --
+*accumulate attempts + edge applications* -- which every
+:meth:`Kernel.apply_batch` returns separately as :attr:`BatchResult.ops`
+so unifying the observable metrics does not silently re-price
+``simulated_seconds``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.engine.result import WorkCounters
+from repro.runtime.compat import NUMPY_INSTALL_HINT
+
+DEFAULT_BACKEND = "python"
+
+#: environment variable consulted when no explicit backend is given
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class KernelUnavailableError(ImportError):
+    """The requested backend cannot run in this environment."""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one kernel propagation round over a batch of deltas."""
+
+    #: pre-folded outbound contributions ``dst -> g-combined value``
+    #: (round mode only; local mode routes through ``emit`` instead)
+    out_deltas: dict = field(default_factory=dict)
+    #: accumulation-column entries that changed
+    changed: int = 0
+    #: total delta magnitude of the changed entries (termination input)
+    magnitude: float = 0.0
+    #: cost-model currency: accumulate attempts + edge applications
+    ops: int = 0
+
+
+class Kernel:
+    """Base class/contract for vertex-runtime execution backends.
+
+    Kernels deliberately keep the MonoTable attribute protocol
+    (``aggregate`` / ``accumulated`` / ``intermediate`` plus the
+    push/fetch/drain/accumulate methods) so the existing
+    :class:`~repro.distributed.fault.Checkpointer` and the chaos
+    snapshot machinery work unchanged on every backend.
+    """
+
+    backend = "abstract"
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        keys: Optional[Iterable] = None,
+        counters: Optional[WorkCounters] = None,
+        initial: Optional[dict] = None,
+    ) -> "Kernel":
+        """Build per-partition state for ``keys`` (all plan keys if None)."""
+        raise NotImplementedError
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    # -- MonoTable protocol (Figure 7) ------------------------------------------
+    def push(self, key, value) -> None:
+        raise NotImplementedError
+
+    def push_many(self, deltas: Iterable[tuple]) -> None:
+        for key, value in deltas:
+            self.push(key, value)
+
+    def fetch_and_reset(self, key):
+        raise NotImplementedError
+
+    def drain_all(self) -> dict:
+        raise NotImplementedError
+
+    def accumulate(self, key, tmp) -> tuple[bool, float]:
+        raise NotImplementedError
+
+    # -- the inner loop ---------------------------------------------------------
+    def apply_batch(
+        self,
+        deltas: Optional[dict] = None,
+        *,
+        keys: Optional[list] = None,
+        emit: Optional[Callable] = None,
+    ) -> BatchResult:
+        """Run one F'/G propagation round.
+
+        Round mode (``deltas``): accumulate every delta (in canonical
+        ascending key order on every backend), apply ``F'`` along the
+        changed keys' out-edges and return the contributions pre-folded
+        per destination in :attr:`BatchResult.out_deltas` -- the caller
+        routes them (BSP outboxes, or a self push for single-node MRA).
+
+        Local mode (``keys`` + ``emit``): process an explicit key list
+        *in the given order*, fetching each key's pending entry at its
+        turn (so contributions pushed by earlier keys of the same batch
+        are visible -- asynchronous semantics).  Contributions for keys
+        owned by this kernel are pushed immediately; foreign ones are
+        handed to ``emit(dst, value, ops_so_far)`` per edge, preserving
+        the caller's buffer-flush timing exactly.
+        """
+        raise NotImplementedError
+
+    def apply_pending(self) -> BatchResult:
+        """Drain everything pending and run one round; the caller routes
+        :attr:`BatchResult.out_deltas` (they are *not* re-pushed here)."""
+        return self.apply_batch(self.drain_all())
+
+    def step(self) -> BatchResult:
+        """Drain everything pending and run one full self-routed round."""
+        result = self.apply_pending()
+        self.push_many(result.out_deltas.items())
+        return result
+
+    # -- whole-table sweep (naive BSP mode) -------------------------------------
+    @classmethod
+    def full_contributions(cls, plan, values: dict) -> list:
+        """``F'(x)`` along every out-edge of every valued key.
+
+        Returns ``(src, dst, value)`` triples in the iteration order of
+        ``values`` (per-source edges in plan order) -- the naive engine
+        keeps its own routing/fold so worker-pair accounting stays in
+        the engine.
+        """
+        raise NotImplementedError
+
+    # -- relational-path helpers ------------------------------------------------
+    @classmethod
+    def fold_contributions(
+        cls, aggregate, contributions: list, counters: Optional[WorkCounters] = None
+    ) -> dict:
+        """Group-and-fold ``(key, value)`` pairs with ``g`` in arrival order."""
+        raise NotImplementedError
+
+    @classmethod
+    def improve_contributions(
+        cls,
+        aggregate,
+        current: dict,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
+    ) -> dict:
+        """Semi-naive filter+fold: contributions improving ``current``.
+
+        Returns ``key -> improved value`` for keys whose accumulated
+        value would change; idempotent aggregates only.
+        """
+        raise NotImplementedError
+
+    # -- inspection -------------------------------------------------------------
+    def pending_keys(self) -> list:
+        raise NotImplementedError
+
+    def has_pending(self) -> bool:
+        raise NotImplementedError
+
+    def pending_count(self) -> int:
+        return len(self.pending_keys())
+
+    def pending_magnitude(self) -> float:
+        raise NotImplementedError
+
+    def pending_min(self) -> float:
+        """Smallest pending delta value (delta-stepping bucket base)."""
+        raise NotImplementedError
+
+    def take_pending_below(self, threshold: float) -> dict:
+        """Remove and return pending entries with value <= threshold."""
+        raise NotImplementedError
+
+    def result(self) -> dict:
+        raise NotImplementedError
+
+    def global_accumulation(self) -> float:
+        """Sum of |value| over the accumulation column (section 5.4)."""
+        raise NotImplementedError
+
+    # -- checkpointing / recovery -----------------------------------------------
+    def snapshot(self) -> dict:
+        """An opaque, self-contained copy of all kernel state."""
+        raise NotImplementedError
+
+    def restore(self, snap: dict) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "Kernel") -> None:
+        """Fold another kernel's state into this one with ``g``."""
+        for key, value in other.result().items():
+            self.accumulate(key, value)
+        for key, value in other.drain_all().items():
+            self.push(key, value)
+
+    def __len__(self):
+        return len(self.result())
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.aggregate.name}: "
+            f"{len(self)} rows, {self.pending_count()} pending)"
+        )
+
+
+# -- backend registry ---------------------------------------------------------
+
+KERNELS: dict[str, type] = {}
+
+
+def register_kernel(cls: type) -> type:
+    KERNELS[cls.backend] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    return [name for name, cls in KERNELS.items() if cls.available()]
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the backend: explicit argument > ``REPRO_BACKEND`` > default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    backend = backend.strip().lower()
+    if backend not in KERNELS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {sorted(KERNELS)}"
+        )
+    return backend
+
+
+def get_kernel(backend: Optional[str] = None) -> type:
+    """Resolve a backend name to its kernel class, checking availability."""
+    name = resolve_backend(backend)
+    cls = KERNELS[name]
+    if not cls.available():
+        raise KernelUnavailableError(
+            f"backend {name!r} is not available: {NUMPY_INSTALL_HINT}"
+        )
+    return cls
+
+
+def record_backend_metrics(metrics, engine: str, backend: str) -> None:
+    """Record which backend produced a run in the metrics registry."""
+    from repro.runtime.compat import numpy_version
+
+    labels = {"engine": engine, "backend": backend}
+    if backend == "numpy":
+        labels["numpy_version"] = numpy_version()
+    metrics.inc("runtime.backend_runs", **labels)

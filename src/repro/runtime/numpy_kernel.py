@@ -1,0 +1,733 @@
+"""Vectorised NumPy kernel: CSR-packed out-edges, batched aggregation.
+
+Exactness engineering (why this backend is bit-identical to
+:class:`~repro.runtime.python_kernel.PythonKernel`, not merely close):
+
+* batches are processed in the same canonical ascending key order, and
+  per-destination folds run in the same arrival order: additive folds
+  use ``np.bincount`` (which accumulates sequentially in input order,
+  i.e. the same left fold as the dict loop), selective folds use
+  ``np.minimum.at``/``np.maximum.at`` (order-insensitive);
+* elementwise float64 ufunc arithmetic is the same IEEE-754 operation
+  the Python loop performs one value at a time;
+* scalar paths (``push``, ``fetch_and_reset``, ``accumulate``, the
+  async local mode) run the combine on Python floats exactly like the
+  reference kernel;
+* insertion orders observable through the MonoTable protocol (the
+  ``accumulated``/``intermediate`` dicts, ``global_accumulation``'s sum
+  order, delta-stepping bucket takes) are tracked explicitly in arrival
+  order, so order-sensitive float sums and batch selections match too.
+
+Compiled ``F'`` lambdas are probed once per plan: if a lambda evaluates
+correctly over arrays (pure arithmetic does), its parameter columns are
+packed as float64 and applications are vectorised per batch; otherwise
+(e.g. ``math.*`` calls) the kernel falls back to per-edge application
+for that recursion body only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.engine.result import WorkCounters
+from repro.runtime.base import (
+    BatchResult,
+    Kernel,
+    KernelUnavailableError,
+    register_kernel,
+)
+from repro.runtime.compat import HAVE_NUMPY, NUMPY_INSTALL_HINT, np
+from repro.runtime.python_kernel import PythonKernel, plan_key_order
+
+
+class _FnGroup:
+    """One recursion body's compiled F' and its packed parameter columns."""
+
+    __slots__ = ("fn", "cols", "raw_params", "vector_ok")
+
+    def __init__(self, fn, param_rows):
+        self.fn = fn
+        self.raw_params = param_rows
+        self.cols = None
+        self.vector_ok = False
+        if not param_rows:
+            return
+        width = len(param_rows[0])
+        try:
+            cols = [
+                np.asarray([row[p] for row in param_rows], dtype=np.float64)
+                for p in range(width)
+            ]
+        except (TypeError, ValueError):
+            return  # non-numeric parameters: per-edge fallback
+        probe_n = min(len(param_rows), 3)
+        xs = np.asarray([1.0, 2.0, 0.5][:probe_n], dtype=np.float64)
+        try:
+            vec = np.asarray(
+                fn(xs, *[col[:probe_n] for col in cols]), dtype=np.float64
+            )
+            if vec.shape == ():
+                vec = np.full(probe_n, float(vec))
+            if vec.shape != (probe_n,):
+                return
+            for j in range(probe_n):
+                if float(vec[j]) != float(fn(float(xs[j]), *param_rows[j])):
+                    return
+        except Exception:
+            return  # math.* calls etc.: per-edge fallback
+        self.cols = cols
+        self.vector_ok = True
+
+    def apply(self, xs, rows):
+        """F' over ``xs`` for the group-local edge ``rows``; float64 array."""
+        if self.vector_ok:
+            out = np.asarray(self.fn(xs, *[col[rows] for col in self.cols]))
+            if out.shape == ():
+                return np.full(xs.shape, float(out))
+            return out.astype(np.float64, copy=False)
+        fn = self.fn
+        params = self.raw_params
+        return np.asarray(
+            [
+                fn(float(x), *params[r])
+                for x, r in zip(xs.tolist(), rows.tolist())
+            ],
+            dtype=np.float64,
+        )
+
+
+class _PlanCSR:
+    """Immutable CSR view of ``plan.out_edges``, shared by all shards."""
+
+    def __init__(self, plan):
+        order = plan_key_order(plan)
+        keys_sorted = plan._kernel_keys_sorted
+        n = len(keys_sorted)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        edst: list[int] = []
+        efn: list[int] = []
+        erow: list[int] = []
+        fn_ids: dict[int, int] = {}
+        fn_objs: list[Callable] = []
+        fn_param_rows: list[list[tuple]] = []
+        for i, key in enumerate(keys_sorted):
+            edges = plan.edges_from(key)
+            indptr[i + 1] = indptr[i] + len(edges)
+            for dst, params, fn in edges:
+                fid = fn_ids.get(id(fn))
+                if fid is None:
+                    fid = fn_ids[id(fn)] = len(fn_objs)
+                    fn_objs.append(fn)
+                    fn_param_rows.append([])
+                edst.append(order[dst])
+                efn.append(fid)
+                erow.append(len(fn_param_rows[fid]))
+                fn_param_rows[fid].append(params)
+        self.keys_sorted = keys_sorted
+        self.index = order
+        self.n = n
+        self.indptr = indptr
+        self.edst = np.asarray(edst, dtype=np.int64)
+        self.efn = np.asarray(efn, dtype=np.int64)
+        self.erow = np.asarray(erow, dtype=np.int64)
+        self.groups = [
+            _FnGroup(fn, rows) for fn, rows in zip(fn_objs, fn_param_rows)
+        ]
+
+    def gather(self, srcs, x):
+        """Flat edge ids + per-edge source values for a source batch."""
+        starts = self.indptr[srcs]
+        counts = self.indptr[srcs + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64)
+        cum = np.cumsum(counts)
+        offsets = np.repeat(starts - (cum - counts), counts)
+        eids = np.arange(total, dtype=np.int64) + offsets
+        return eids, np.repeat(x, counts)
+
+    def apply_edges(self, eids, x_per_edge):
+        """Evaluate F' for the given flat edge ids; (dsts, values)."""
+        vals = np.empty(len(eids), dtype=np.float64)
+        fids = self.efn[eids]
+        if len(self.groups) == 1:
+            vals[:] = self.groups[0].apply(x_per_edge, self.erow[eids])
+        else:
+            for fid, group in enumerate(self.groups):
+                mask = fids == fid
+                if mask.any():
+                    vals[mask] = group.apply(
+                        x_per_edge[mask], self.erow[eids[mask]]
+                    )
+        return self.edst[eids], vals
+
+
+def plan_csr(plan) -> _PlanCSR:
+    csr = getattr(plan, "_kernel_csr", None)
+    if csr is None:
+        csr = _PlanCSR(plan)
+        plan._kernel_csr = csr
+    return csr
+
+
+@register_kernel
+class NumpyKernel(Kernel):
+    """CSR + dirty-mask vertex runtime over float64 columns."""
+
+    backend = "numpy"
+
+    def __init__(
+        self,
+        plan,
+        keys: Optional[Iterable] = None,
+        counters: Optional[WorkCounters] = None,
+        initial: Optional[dict] = None,
+    ):
+        if not HAVE_NUMPY:
+            raise KernelUnavailableError(
+                f"NumpyKernel: {NUMPY_INSTALL_HINT}"
+            )
+        self.plan = plan
+        self.aggregate = plan.aggregate
+        self.counters = counters if counters is not None else WorkCounters()
+        self._csr = plan_csr(plan)
+        self._keys = self._csr.keys_sorted
+        self._index = self._csr.index
+        n = self._csr.n
+        name = self.aggregate.name
+        if name == "min":
+            self._mode = "min"
+        elif name == "max":
+            self._mode = "max"
+        elif self.aggregate.kind.value == "additive":
+            self._mode = "sum"
+        else:
+            self._mode = "other"  # e.g. mean: scalar combine fallback
+        if keys is None:
+            self._owned_mask = None
+        else:
+            self._owned_mask = np.zeros(n, dtype=bool)
+            for key in keys:
+                self._owned_mask[self._index[key]] = True
+        self._acc = np.zeros(n, dtype=np.float64)
+        self._acc_has = np.zeros(n, dtype=bool)
+        self._acc_order: list[int] = []
+        self._pend = np.zeros(n, dtype=np.float64)
+        self._pend_has = np.zeros(n, dtype=bool)
+        self._pend_order: list[int] = []
+        if initial is None:
+            initial = plan.initial
+        for key, value in initial.items():
+            i = self._index[key]
+            if self._owned_mask is not None and not self._owned_mask[i]:
+                continue
+            self._acc[i] = float(value)
+            self._acc_has[i] = True
+            self._acc_order.append(i)
+
+    @classmethod
+    def from_plan(cls, plan, keys=None, counters=None, initial=None):
+        return cls(plan, keys=keys, counters=counters, initial=initial)
+
+    @classmethod
+    def available(cls) -> bool:
+        return HAVE_NUMPY
+
+    # -- MonoTable protocol (scalar paths run on Python floats) -----------------
+    @property
+    def accumulated(self) -> dict:
+        keys = self._keys
+        acc = self._acc
+        return {keys[i]: float(acc[i]) for i in self._acc_order}
+
+    @accumulated.setter
+    def accumulated(self, values: dict) -> None:
+        self._acc_has[:] = False
+        self._acc_order = []
+        for key, value in values.items():
+            i = self._index[key]
+            self._acc[i] = float(value)
+            self._acc_has[i] = True
+            self._acc_order.append(i)
+
+    def _pend_indices(self) -> list:
+        """Live pending indices in dict-equivalent arrival order.
+
+        ``fetch_and_reset`` leaves stale entries behind and a re-push of
+        a fetched key appends a fresh occurrence; a Python dict would
+        re-insert that key at the *end*.  The last occurrence of each
+        live index is therefore the authoritative position -- compact
+        lazily whenever stale or duplicate entries exist.
+        """
+        order = self._pend_order
+        live = int(self._pend_has.sum())
+        if len(order) == live:
+            return order
+        has = self._pend_has
+        last = {i: pos for pos, i in enumerate(order)}
+        rebuilt = [
+            i for pos, i in enumerate(order) if has[i] and last[i] == pos
+        ]
+        self._pend_order = rebuilt
+        return rebuilt
+
+    @property
+    def intermediate(self) -> dict:
+        keys = self._keys
+        pend = self._pend
+        return {keys[i]: float(pend[i]) for i in self._pend_indices()}
+
+    @intermediate.setter
+    def intermediate(self, values: dict) -> None:
+        self._pend_has[:] = False
+        self._pend_order = []
+        for key, value in values.items():
+            i = self._index[key]
+            self._pend[i] = float(value)
+            self._pend_has[i] = True
+            self._pend_order.append(i)
+
+    def push(self, key, value) -> None:
+        self._push_idx(self._index[key], float(value))
+
+    def _push_idx(self, i: int, value: float) -> None:
+        if self._pend_has[i]:
+            self._pend[i] = self.aggregate.combine(float(self._pend[i]), value)
+            self.counters.combines += 1
+        else:
+            self._pend[i] = value
+            self._pend_has[i] = True
+            self._pend_order.append(i)
+
+    def fetch_and_reset(self, key):
+        i = self._index[key]
+        if not self._pend_has[i]:
+            return None
+        self._pend_has[i] = False  # stale entry left in _pend_order
+        return float(self._pend[i])
+
+    def drain_all(self) -> dict:
+        keys = self._keys
+        pend = self._pend
+        drained = {keys[i]: float(pend[i]) for i in self._pend_indices()}
+        self._pend_has[:] = False
+        self._pend_order = []
+        return drained
+
+    def accumulate(self, key, tmp) -> tuple[bool, float]:
+        return self._accumulate_idx(self._index[key], tmp)
+
+    def _accumulate_idx(self, i: int, tmp) -> tuple[bool, float]:
+        aggregate = self.aggregate
+        if not self._acc_has[i]:
+            self._acc[i] = float(tmp)
+            self._acc_has[i] = True
+            self._acc_order.append(i)
+            self.counters.updates += 1
+            return True, aggregate.delta_magnitude(tmp)
+        old = float(self._acc[i])
+        self.counters.combines += 1
+        new = aggregate.combine(old, float(tmp))
+        if new == old:
+            return False, 0.0
+        self._acc[i] = new
+        self.counters.updates += 1
+        if aggregate.is_idempotent:
+            return True, abs(new - old)
+        return True, aggregate.delta_magnitude(tmp)
+
+    # -- vectorised core --------------------------------------------------------
+    def _vector_accumulate(self, idx, tmp):
+        """Batch accumulate; returns (changed_mask, magnitudes)."""
+        has = self._acc_has[idx]
+        old = self._acc[idx]
+        if self._mode == "sum":
+            new = np.where(has, old + tmp, tmp)
+            changed = ~has | (new != old)
+            mags = np.abs(tmp)
+        elif self._mode == "min":
+            new = np.where(has, np.minimum(old, tmp), tmp)
+            changed = ~has | (new != old)
+            mags = np.where(has, np.abs(new - old), np.abs(tmp))
+        else:  # max
+            new = np.where(has, np.maximum(old, tmp), tmp)
+            changed = ~has | (new != old)
+            mags = np.where(has, np.abs(new - old), np.abs(tmp))
+        self.counters.combines += int(has.sum())
+        self.counters.updates += int(changed.sum())
+        write = idx[changed]
+        self._acc[write] = new[changed]
+        fresh = idx[changed & ~has]
+        if len(fresh):
+            self._acc_has[fresh] = True
+            self._acc_order.extend(fresh.tolist())
+        return changed, mags
+
+    def _round_core(self, idx, tmp, scatter_self: bool) -> BatchResult:
+        """One propagation round over an ascending-index batch."""
+        counters = self.counters
+        changed, mags = self._vector_accumulate(idx, tmp)
+        n_changed = int(changed.sum())
+        magnitude = float(sum(mags[changed].tolist()))  # left fold, asc order
+        ops = len(idx)
+        out: dict = {}
+        if n_changed:
+            eids, x_per_edge = self._csr.gather(idx[changed], tmp[changed])
+            ops += len(eids)
+            counters.fprime_applications += len(eids)
+            if len(eids):
+                dsts, vals = self._csr.apply_edges(eids, x_per_edge)
+                if scatter_self:
+                    self._scatter_pending(dsts, vals)
+                else:
+                    out = self._fold_out(dsts, vals)
+        return BatchResult(
+            out_deltas=out, changed=n_changed, magnitude=magnitude, ops=ops
+        )
+
+    def _fold_out(self, dsts, vals) -> dict:
+        """Per-destination fold in arrival order, first-occurrence keyed."""
+        counters = self.counters
+        uniq, first_pos, inv = np.unique(
+            dsts, return_index=True, return_inverse=True
+        )
+        forder = np.argsort(first_pos, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[forder] = np.arange(len(uniq), dtype=np.int64)
+        codes = rank[inv]
+        if self._mode == "sum":
+            folded = np.bincount(codes, weights=vals, minlength=len(uniq))
+        elif self._mode == "min":
+            folded = np.full(len(uniq), np.inf)
+            np.minimum.at(folded, codes, vals)
+        elif self._mode == "max":
+            folded = np.full(len(uniq), -np.inf)
+            np.maximum.at(folded, codes, vals)
+        else:
+            return self._fold_out_scalar(dsts, vals)
+        counters.combines += len(vals) - len(uniq)
+        keys = self._keys
+        out: dict = {}
+        for rank_pos, dst_idx in enumerate(uniq[forder].tolist()):
+            out[keys[dst_idx]] = float(folded[rank_pos])
+        return out
+
+    def _fold_out_scalar(self, dsts, vals) -> dict:
+        combine = self.aggregate.combine
+        counters = self.counters
+        keys = self._keys
+        out: dict = {}
+        for d, v in zip(dsts.tolist(), vals.tolist()):
+            key = keys[d]
+            old = out.get(key)
+            if old is None:
+                out[key] = v
+            else:
+                out[key] = combine(old, v)
+                counters.combines += 1
+        return out
+
+    def _scatter_pending(self, dsts, vals) -> None:
+        """Scatter a round's contributions into the (empty) pending column."""
+        n = self._csr.n
+        if self._mode == "sum":
+            sums = np.bincount(dsts, weights=vals, minlength=n)
+            touched = np.bincount(dsts, minlength=n).astype(bool)
+            self._pend[touched] = sums[touched]
+        elif self._mode in ("min", "max"):
+            fill = np.inf if self._mode == "min" else -np.inf
+            scratch = np.full(n, fill)
+            if self._mode == "min":
+                np.minimum.at(scratch, dsts, vals)
+            else:
+                np.maximum.at(scratch, dsts, vals)
+            touched = np.zeros(n, dtype=bool)
+            touched[dsts] = True
+            self._pend[touched] = scratch[touched]
+        else:
+            for d, v in zip(dsts.tolist(), vals.tolist()):
+                self._push_idx(int(d), v)
+            return
+        self.counters.combines += len(vals) - int(touched.sum())
+        self._pend_has |= touched
+        self._pend_order = np.nonzero(self._pend_has)[0].tolist()
+
+    # -- the inner loop ---------------------------------------------------------
+    def apply_batch(
+        self,
+        deltas: Optional[dict] = None,
+        *,
+        keys: Optional[list] = None,
+        emit: Optional[Callable] = None,
+    ) -> BatchResult:
+        if deltas is not None:
+            return self._apply_round(deltas)
+        return self._apply_local(keys or [], emit)
+
+    def _apply_round(self, deltas: dict) -> BatchResult:
+        if self._mode == "other":
+            return self._apply_round_scalar(deltas)
+        m = len(deltas)
+        if m == 0:
+            return BatchResult()
+        idx = np.empty(m, dtype=np.int64)
+        vals = np.empty(m, dtype=np.float64)
+        index = self._index
+        for j, (key, value) in enumerate(deltas.items()):
+            idx[j] = index[key]
+            vals[j] = value
+        srt = np.argsort(idx, kind="stable")
+        return self._round_core(idx[srt], vals[srt], scatter_self=False)
+
+    def _apply_round_scalar(self, deltas: dict) -> BatchResult:
+        """Generic-aggregate fallback: the reference loop over arrays."""
+        plan = self.plan
+        combine = self.aggregate.combine
+        counters = self.counters
+        order = self._index
+        out: dict = {}
+        changed = 0
+        magnitude = 0.0
+        ops = 0
+        edges_applied = 0
+        for key, tmp in sorted(deltas.items(), key=lambda kv: order[kv[0]]):
+            did_change, delta_mag = self.accumulate(key, tmp)
+            ops += 1
+            if not did_change:
+                continue
+            changed += 1
+            magnitude += delta_mag
+            for dst, params, fn in plan.edges_from(key):
+                value = fn(tmp, *params)
+                ops += 1
+                edges_applied += 1
+                old = out.get(dst)
+                if old is None:
+                    out[dst] = value
+                else:
+                    out[dst] = combine(old, value)
+                    counters.combines += 1
+        counters.fprime_applications += edges_applied
+        return BatchResult(out_deltas=out, changed=changed, magnitude=magnitude, ops=ops)
+
+    def apply_pending(self) -> BatchResult:
+        """Drain + round in one array pass (no dict round-trip)."""
+        if self._mode == "other":
+            return super().apply_pending()
+        idx = np.nonzero(self._pend_has)[0]
+        if len(idx) == 0:
+            return BatchResult()
+        tmp = self._pend[idx].copy()
+        self._pend_has[:] = False
+        self._pend_order = []
+        return self._round_core(idx, tmp, scatter_self=False)
+
+    def step(self) -> BatchResult:
+        """The single-node MRA fast path: full round, array-only."""
+        if self._mode == "other":
+            return super().step()
+        idx = np.nonzero(self._pend_has)[0]
+        if len(idx) == 0:
+            return BatchResult()
+        tmp = self._pend[idx].copy()
+        self._pend_has[:] = False
+        self._pend_order = []
+        return self._round_core(idx, tmp, scatter_self=True)
+
+    def _apply_local(self, keys: list, emit: Optional[Callable]) -> BatchResult:
+        csr = self._csr
+        key_names = self._keys
+        owned = self._owned_mask
+        counters = self.counters
+        pend = self._pend
+        pend_has = self._pend_has
+        combine = self.aggregate.combine
+        changed = 0
+        magnitude = 0.0
+        ops = 0
+        edges_applied = 0
+        for key in keys:
+            i = self._index[key]
+            if not pend_has[i]:
+                continue
+            pend_has[i] = False
+            tmp = float(pend[i])
+            did_change, delta_mag = self._accumulate_idx(i, tmp)
+            ops += 1
+            if not did_change:
+                continue
+            changed += 1
+            magnitude += delta_mag
+            start, end = int(csr.indptr[i]), int(csr.indptr[i + 1])
+            if start == end:
+                continue
+            eids = np.arange(start, end, dtype=np.int64)
+            dsts, vals = csr.apply_edges(eids, np.full(end - start, tmp))
+            edges_applied += end - start
+            for d, v in zip(dsts.tolist(), vals.tolist()):
+                ops += 1
+                if owned is None or owned[d]:
+                    if pend_has[d]:
+                        pend[d] = combine(float(pend[d]), v)
+                        counters.combines += 1
+                    else:
+                        pend[d] = v
+                        pend_has[d] = True
+                        self._pend_order.append(int(d))
+                else:
+                    emit(key_names[d], v, ops)
+        counters.fprime_applications += edges_applied
+        return BatchResult(changed=changed, magnitude=magnitude, ops=ops)
+
+    # -- whole-table sweep (naive BSP mode) -------------------------------------
+    @classmethod
+    def full_contributions(cls, plan, values: dict) -> list:
+        if not HAVE_NUMPY:
+            raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
+        csr = plan_csr(plan)
+        index = csr.index
+        m = len(values)
+        if m == 0:
+            return []
+        idx = np.empty(m, dtype=np.int64)
+        vals = np.empty(m, dtype=np.float64)
+        for j, (key, value) in enumerate(values.items()):
+            idx[j] = index[key]
+            vals[j] = value
+        eids, x_per_edge = csr.gather(idx, vals)
+        if len(eids) == 0:
+            return []
+        dsts, out_vals = csr.apply_edges(eids, x_per_edge)
+        counts = csr.indptr[idx + 1] - csr.indptr[idx]
+        src_per_edge = np.repeat(idx, counts)
+        keys = csr.keys_sorted
+        return [
+            (keys[s], keys[d], v)
+            for s, d, v in zip(
+                src_per_edge.tolist(), dsts.tolist(), out_vals.tolist()
+            )
+        ]
+
+    # -- relational-path helpers ------------------------------------------------
+    @classmethod
+    def fold_contributions(cls, aggregate, contributions, counters=None) -> dict:
+        if not HAVE_NUMPY:
+            raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
+        name = aggregate.name
+        if name not in ("min", "max") and aggregate.kind.value != "additive":
+            return PythonKernel.fold_contributions(
+                aggregate, contributions, counters
+            )
+        index: dict = {}
+        codes: list[int] = []
+        raw_vals: list[float] = []
+        for key, value in contributions:
+            codes.append(index.setdefault(key, len(index)))
+            raw_vals.append(value)
+        if not index:
+            return {}
+        code_arr = np.asarray(codes, dtype=np.int64)
+        val_arr = np.asarray(raw_vals, dtype=np.float64)
+        if aggregate.kind.value == "additive":
+            folded = np.bincount(code_arr, weights=val_arr, minlength=len(index))
+        elif name == "min":
+            folded = np.full(len(index), np.inf)
+            np.minimum.at(folded, code_arr, val_arr)
+        else:
+            folded = np.full(len(index), -np.inf)
+            np.maximum.at(folded, code_arr, val_arr)
+        if counters is not None:
+            counters.combines += len(contributions) - len(index)
+        return {key: float(folded[c]) for key, c in index.items()}
+
+    @classmethod
+    def improve_contributions(cls, aggregate, current, contributions, counters=None) -> dict:
+        if not HAVE_NUMPY:
+            raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
+        if aggregate.name not in ("min", "max"):
+            return PythonKernel.improve_contributions(
+                aggregate, current, contributions, counters
+            )
+        best = cls.fold_contributions(aggregate, contributions, counters)
+        combine = aggregate.combine
+        changed: dict = {}
+        for key, value in best.items():
+            old = current.get(key)
+            if old is None:
+                changed[key] = value
+                continue
+            if counters is not None:
+                counters.combines += 1
+            improved = combine(old, value)
+            if improved != old:
+                changed[key] = improved
+        return changed
+
+    # -- inspection -------------------------------------------------------------
+    def pending_keys(self) -> list:
+        keys = self._keys
+        return [keys[i] for i in self._pend_indices()]
+
+    def has_pending(self) -> bool:
+        return bool(self._pend_has.any())
+
+    def pending_count(self) -> int:
+        return int(self._pend_has.sum())
+
+    def pending_magnitude(self) -> float:
+        delta_magnitude = self.aggregate.delta_magnitude
+        pend = self._pend
+        return sum(
+            delta_magnitude(float(pend[i])) for i in self._pend_indices()
+        )
+
+    def pending_min(self) -> float:
+        if not self._pend_has.any():
+            return float("inf")
+        return float(self._pend[self._pend_has].min())
+
+    def take_pending_below(self, threshold: float) -> dict:
+        keys = self._keys
+        pend = self._pend
+        has = self._pend_has
+        take: dict = {}
+        keep: list[int] = []
+        for i in self._pend_indices():
+            value = float(pend[i])
+            if value <= threshold:
+                take[keys[i]] = value
+                has[i] = False
+            else:
+                keep.append(i)
+        self._pend_order = keep
+        return take
+
+    def result(self) -> dict:
+        return self.accumulated
+
+    def global_accumulation(self) -> float:
+        acc = self._acc
+        total = 0.0
+        for i in self._acc_order:
+            total += abs(float(acc[i]))
+        return total
+
+    # -- checkpointing / recovery -----------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "acc": self._acc.copy(),
+            "acc_has": self._acc_has.copy(),
+            "acc_order": list(self._acc_order),
+            "pend": self._pend.copy(),
+            "pend_has": self._pend_has.copy(),
+            "pend_order": list(self._pend_order),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._acc = snap["acc"].copy()
+        self._acc_has = snap["acc_has"].copy()
+        self._acc_order = list(snap["acc_order"])
+        self._pend = snap["pend"].copy()
+        self._pend_has = snap["pend_has"].copy()
+        self._pend_order = list(snap["pend_order"])

@@ -1,0 +1,274 @@
+"""The reference dict-based kernel (lift of the original engine loops).
+
+Semantics notes that the NumpyKernel mirrors bit-for-bit:
+
+* batches handed to :meth:`apply_batch` in round mode are processed in
+  canonical ascending key order (the plan-wide sorted-key index), so the
+  floating-point fold order is identical on every backend;
+* outbound contributions are folded per destination in arrival order
+  (source order x plan edge order), with the destination dict keyed in
+  first-occurrence order -- downstream message payloads therefore apply
+  pushes in the same order on every backend;
+* the ``accumulated`` and ``intermediate`` dicts keep insertion order,
+  which is observable through ``global_accumulation`` (float sum order),
+  async batch selection and delta-stepping bucket takes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.engine.result import WorkCounters
+from repro.runtime.base import BatchResult, Kernel, register_kernel
+
+
+def plan_key_order(plan) -> dict:
+    """key -> canonical dense index over ``sorted(plan.keys)`` (cached)."""
+    order = getattr(plan, "_kernel_key_order", None)
+    if order is None:
+        try:
+            keys_sorted = sorted(plan.keys)
+        except TypeError:  # heterogeneous key types: fall back to repr order
+            keys_sorted = sorted(plan.keys, key=repr)
+        order = {key: i for i, key in enumerate(keys_sorted)}
+        plan._kernel_key_order = order
+        plan._kernel_keys_sorted = keys_sorted
+    return order
+
+
+@register_kernel
+class PythonKernel(Kernel):
+    """Pure-Python vertex runtime; the bit-exactness reference."""
+
+    backend = "python"
+
+    def __init__(
+        self,
+        plan,
+        keys: Optional[Iterable] = None,
+        counters: Optional[WorkCounters] = None,
+        initial: Optional[dict] = None,
+    ):
+        self.plan = plan
+        self.aggregate = plan.aggregate
+        self.counters = counters if counters is not None else WorkCounters()
+        self._order = plan_key_order(plan)
+        if initial is None:
+            initial = plan.initial
+        if keys is None:
+            self._owned = None
+            self.accumulated: dict = dict(initial)
+        else:
+            self._owned = set(keys)
+            self.accumulated = {
+                key: value for key, value in initial.items() if key in self._owned
+            }
+        self.intermediate: dict = {}
+
+    @classmethod
+    def from_plan(cls, plan, keys=None, counters=None, initial=None):
+        return cls(plan, keys=keys, counters=counters, initial=initial)
+
+    # -- MonoTable protocol -----------------------------------------------------
+    def push(self, key, value) -> None:
+        current = self.intermediate.get(key)
+        if current is None:
+            self.intermediate[key] = value
+        else:
+            self.intermediate[key] = self.aggregate.combine(current, value)
+            self.counters.combines += 1
+
+    def fetch_and_reset(self, key):
+        return self.intermediate.pop(key, None)
+
+    def drain_all(self) -> dict:
+        drained = self.intermediate
+        self.intermediate = {}
+        return drained
+
+    def accumulate(self, key, tmp) -> tuple[bool, float]:
+        aggregate = self.aggregate
+        old = self.accumulated.get(key)
+        if old is None:
+            self.accumulated[key] = tmp
+            self.counters.updates += 1
+            return True, aggregate.delta_magnitude(tmp)
+        self.counters.combines += 1
+        new = aggregate.combine(old, tmp)
+        if new == old:
+            return False, 0.0
+        self.accumulated[key] = new
+        self.counters.updates += 1
+        if aggregate.is_idempotent:
+            return True, abs(new - old)
+        return True, aggregate.delta_magnitude(tmp)
+
+    # -- the inner loop ---------------------------------------------------------
+    def apply_batch(
+        self,
+        deltas: Optional[dict] = None,
+        *,
+        keys: Optional[list] = None,
+        emit: Optional[Callable] = None,
+    ) -> BatchResult:
+        if deltas is not None:
+            return self._apply_round(deltas)
+        return self._apply_local(keys or [], emit)
+
+    def _apply_round(self, deltas: dict) -> BatchResult:
+        plan = self.plan
+        combine = self.aggregate.combine
+        counters = self.counters
+        order = self._order
+        out: dict = {}
+        changed = 0
+        magnitude = 0.0
+        ops = 0
+        edges_applied = 0
+        for key, tmp in sorted(deltas.items(), key=lambda kv: order[kv[0]]):
+            did_change, delta_mag = self.accumulate(key, tmp)
+            ops += 1
+            if not did_change:
+                continue
+            changed += 1
+            magnitude += delta_mag
+            for dst, params, fn in plan.edges_from(key):
+                value = fn(tmp, *params)
+                ops += 1
+                edges_applied += 1
+                old = out.get(dst)
+                if old is None:
+                    out[dst] = value
+                else:
+                    out[dst] = combine(old, value)
+                    counters.combines += 1
+        counters.fprime_applications += edges_applied
+        return BatchResult(out_deltas=out, changed=changed, magnitude=magnitude, ops=ops)
+
+    def _apply_local(self, keys: list, emit: Optional[Callable]) -> BatchResult:
+        plan = self.plan
+        owned = self._owned
+        counters = self.counters
+        changed = 0
+        magnitude = 0.0
+        ops = 0
+        edges_applied = 0
+        for key in keys:
+            tmp = self.fetch_and_reset(key)
+            if tmp is None:
+                continue
+            did_change, delta_mag = self.accumulate(key, tmp)
+            ops += 1
+            if not did_change:
+                continue
+            changed += 1
+            magnitude += delta_mag
+            for dst, params, fn in plan.edges_from(key):
+                value = fn(tmp, *params)
+                ops += 1
+                edges_applied += 1
+                if owned is None or dst in owned:
+                    self.push(dst, value)
+                else:
+                    emit(dst, value, ops)
+        counters.fprime_applications += edges_applied
+        return BatchResult(changed=changed, magnitude=magnitude, ops=ops)
+
+    # -- whole-table sweep (naive BSP mode) -------------------------------------
+    @classmethod
+    def full_contributions(cls, plan, values: dict) -> list:
+        triples = []
+        for src, value in values.items():
+            for dst, params, fn in plan.edges_from(src):
+                triples.append((src, dst, fn(value, *params)))
+        return triples
+
+    # -- relational-path helpers ------------------------------------------------
+    @classmethod
+    def fold_contributions(cls, aggregate, contributions, counters=None) -> dict:
+        combine = aggregate.combine
+        out: dict = {}
+        for key, value in contributions:
+            old = out.get(key)
+            if old is None:
+                out[key] = value
+            else:
+                out[key] = combine(old, value)
+                if counters is not None:
+                    counters.combines += 1
+        return out
+
+    @classmethod
+    def improve_contributions(cls, aggregate, current, contributions, counters=None) -> dict:
+        combine = aggregate.combine
+        changed: dict = {}
+        for key, value in contributions:
+            old = current.get(key)
+            if old is not None:
+                if counters is not None:
+                    counters.combines += 1
+                if combine(old, value) == old:
+                    continue  # idempotent aggregate: no improvement, prune
+            best = changed.get(key)
+            if best is None:
+                if old is None:
+                    improved = value
+                else:
+                    improved = combine(old, value)
+                    if counters is not None:
+                        counters.combines += 1
+            else:
+                improved = combine(best, value)
+                if counters is not None:
+                    counters.combines += 1
+            changed[key] = improved
+        return changed
+
+    # -- inspection -------------------------------------------------------------
+    def pending_keys(self) -> list:
+        return list(self.intermediate)
+
+    def has_pending(self) -> bool:
+        return bool(self.intermediate)
+
+    def pending_count(self) -> int:
+        return len(self.intermediate)
+
+    def pending_magnitude(self) -> float:
+        return sum(
+            self.aggregate.delta_magnitude(v) for v in self.intermediate.values()
+        )
+
+    def pending_min(self) -> float:
+        return min(self.intermediate.values(), default=float("inf"))
+
+    def take_pending_below(self, threshold: float) -> dict:
+        take = {
+            key: value
+            for key, value in self.intermediate.items()
+            if value <= threshold
+        }
+        for key in take:
+            del self.intermediate[key]
+        return take
+
+    def result(self) -> dict:
+        return dict(self.accumulated)
+
+    def global_accumulation(self) -> float:
+        total = 0.0
+        for value in self.accumulated.values():
+            if value is not None:
+                total += abs(float(value))
+        return total
+
+    # -- checkpointing / recovery -----------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "accumulated": dict(self.accumulated),
+            "intermediate": dict(self.intermediate),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.accumulated = dict(snap["accumulated"])
+        self.intermediate = dict(snap["intermediate"])

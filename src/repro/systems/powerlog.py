@@ -59,14 +59,15 @@ class PowerLog(DatalogSystem):
         spec: ProgramSpec,
         graph: Graph,
         cluster: Optional[ClusterConfig] = None,
+        backend: Optional[str] = None,
     ) -> EvalResult:
         cluster = self._tuned_cluster(cluster or ClusterConfig())
         decision = self.decide(spec)
         plan = self.compile(spec, graph)
         if decision.evaluation == "mra":
-            engine = UnifiedEngine(plan, cluster)
+            engine = UnifiedEngine(plan, cluster, backend=backend)
         else:
-            engine = SyncEngine(plan, cluster, mode="naive")
+            engine = SyncEngine(plan, cluster, mode="naive", backend=backend)
         result = engine.run()
         result.engine = f"{self.name}:{result.engine}"
         return result

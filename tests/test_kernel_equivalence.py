@@ -1,0 +1,179 @@
+"""Cross-backend equivalence: NumPy kernel == pure-Python kernel, bit for bit.
+
+The vectorized backend is not allowed to be "close": every registry
+program must reach the *identical* fixpoint with *identical* work
+counters on both backends, on the single-node MRA evaluator and on the
+distributed engines (where the simulated clock must agree too, since
+``BatchResult.ops`` prices compute time).  Under a seeded fault
+schedule the recovery path must also behave identically --
+``EvalResult.faults`` and all.
+
+The property-based section drives both kernels over random graphs so
+the equivalence claim does not quietly specialise to the fixture
+graphs.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.async_engine import AsyncEngine
+from repro.distributed.chaos_harness import default_graph, schedule_for
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.sync_engine import SyncEngine
+from repro.engine import MRAEvaluator
+from repro.graphs import random_dag, rmat
+from repro.programs import PROGRAMS
+from repro.runtime import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy backend not installed"
+)
+
+ALL_PROGRAMS = sorted(PROGRAMS)
+
+#: engines exercised per program in the distributed sweep; naive mode
+#: rides along on two programs (it routes whole-table sweeps, not deltas)
+DISTRIBUTED_PROGRAMS = ("sssp", "cc", "pagerank", "katz", "viterbi", "dag_paths")
+
+
+def _assert_identical(python_result, numpy_result, *, clock: bool = True):
+    assert numpy_result.backend == "numpy"
+    assert python_result.values == numpy_result.values
+    assert python_result.stop_reason == numpy_result.stop_reason
+    assert python_result.counters.snapshot() == numpy_result.counters.snapshot()
+    if clock:
+        assert python_result.simulated_seconds == numpy_result.simulated_seconds
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS)
+def test_mra_fixpoint_identical(program):
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
+    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
+    _assert_identical(python_result, numpy_result, clock=False)
+    assert python_result.counters.iterations == numpy_result.counters.iterations
+
+
+@pytest.mark.parametrize("program", DISTRIBUTED_PROGRAMS)
+def test_sync_engine_identical(program):
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    cluster = ClusterConfig(num_workers=4)
+    python_result = SyncEngine(spec.plan(graph), cluster, backend="python").run()
+    numpy_result = SyncEngine(spec.plan(graph), cluster, backend="numpy").run()
+    _assert_identical(python_result, numpy_result)
+
+
+@pytest.mark.parametrize("program", DISTRIBUTED_PROGRAMS)
+def test_async_engine_identical(program):
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    cluster = ClusterConfig(num_workers=4)
+    python_result = AsyncEngine(spec.plan(graph), cluster, backend="python").run()
+    numpy_result = AsyncEngine(spec.plan(graph), cluster, backend="numpy").run()
+    _assert_identical(python_result, numpy_result)
+
+
+@pytest.mark.parametrize("program", ("sssp", "pagerank"))
+def test_naive_mode_identical(program):
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    cluster = ClusterConfig(num_workers=4)
+    python_result = SyncEngine(
+        spec.plan(graph), cluster, mode="naive", backend="python"
+    ).run()
+    numpy_result = SyncEngine(
+        spec.plan(graph), cluster, mode="naive", backend="numpy"
+    ).run()
+    _assert_identical(python_result, numpy_result)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("program", ("sssp", "pagerank", "dag_paths"))
+@pytest.mark.parametrize("engine_cls", (SyncEngine, AsyncEngine))
+def test_chaos_recovery_identical(program, engine_cls, tmp_path):
+    """Same seeded fault schedule => same crashes, replays and fixpoint."""
+    from repro.distributed.fault import Checkpointer
+
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    cluster = ClusterConfig(num_workers=4)
+    reference = engine_cls(spec.plan(graph), cluster, backend="python").run()
+    schedule = schedule_for(reference.simulated_seconds, 4, seed=11)
+    chaotic_cluster = cluster.with_faults(schedule)
+
+    results = {}
+    for backend in ("python", "numpy"):
+        kwargs = dict(
+            backend=backend,
+            checkpointer=Checkpointer(tmp_path / backend),
+            run_name=f"chaos-{backend}",
+        )
+        if engine_cls is SyncEngine:
+            kwargs["checkpoint_every"] = 4
+        results[backend] = engine_cls(
+            spec.plan(graph), chaotic_cluster, **kwargs
+        ).run()
+
+    python_result, numpy_result = results["python"], results["numpy"]
+    _assert_identical(python_result, numpy_result)
+    assert python_result.faults is not None
+    assert python_result.faults.snapshot() == numpy_result.faults.snapshot()
+    # the schedule really fired -- the equality above is not vacuous
+    assert sum(python_result.faults.snapshot().values()) > 0
+
+
+# -- property-based sweep ------------------------------------------------------
+
+#: vertex-domain programs safe on arbitrary digraphs (cyclic included)
+CYCLIC_SAFE = ("sssp", "cc", "pagerank", "katz", "adsorption", "lca")
+#: programs requiring acyclic inputs (path counting diverges on cycles)
+DAG_ONLY = ("dag_paths", "cost", "viterbi")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    program=st.sampled_from(CYCLIC_SAFE),
+    num_vertices=st.integers(min_value=8, max_value=90),
+    density=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_random_graphs_mra(program, num_vertices, density, seed):
+    graph = rmat(num_vertices, num_vertices * density, seed=seed, name="hyp")
+    spec = PROGRAMS[program]
+    python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
+    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
+    _assert_identical(python_result, numpy_result, clock=False)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    program=st.sampled_from(DAG_ONLY),
+    num_vertices=st.integers(min_value=8, max_value=70),
+    density=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_random_dags_mra(program, num_vertices, density, seed):
+    graph = random_dag(num_vertices, num_vertices * density, seed=seed, name="hyp-dag")
+    spec = PROGRAMS[program]
+    python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
+    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
+    _assert_identical(python_result, numpy_result, clock=False)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    program=st.sampled_from(("sssp", "pagerank")),
+    num_vertices=st.integers(min_value=8, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+    workers=st.integers(min_value=1, max_value=6),
+)
+def test_property_random_graphs_distributed(program, num_vertices, seed, workers):
+    graph = rmat(num_vertices, num_vertices * 4, seed=seed, name="hyp-dist")
+    spec = PROGRAMS[program]
+    cluster = ClusterConfig(num_workers=workers)
+    python_result = SyncEngine(spec.plan(graph), cluster, backend="python").run()
+    numpy_result = SyncEngine(spec.plan(graph), cluster, backend="numpy").run()
+    _assert_identical(python_result, numpy_result)

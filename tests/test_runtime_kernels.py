@@ -1,0 +1,273 @@
+"""The vertex-runtime layer: kernel contract, registry and accounting.
+
+Covers the pieces the engines now build on: backend resolution
+(argument > ``REPRO_BACKEND`` > default), the MonoTable protocol and
+inner loop on every registered backend, snapshot/restore/merge, the
+optional-numpy degradation path, and the unified work-counter
+semantics (``combines``/``updates``/``fprime_applications`` counted
+inside the kernel, never by the engines).
+"""
+
+import pytest
+
+from repro.distributed import Checkpointer, ClusterConfig
+from repro.distributed.sharding import ShardedRun
+from repro.distributed.sync_engine import SyncEngine
+from repro.engine import MRAEvaluator, WorkCounters
+from repro.graphs.graph import Graph
+from repro.obs import Observability
+from repro.programs import PROGRAMS
+from repro.runtime import (
+    BACKEND_ENV_VAR,
+    KERNELS,
+    HAVE_NUMPY,
+    Kernel,
+    KernelUnavailableError,
+    available_backends,
+    get_kernel,
+    record_backend_metrics,
+    resolve_backend,
+)
+from repro.runtime.compat import NUMPY_INSTALL_HINT, MissingNumpy
+
+BACKENDS = available_backends()
+
+
+def _deterministic_graph(num_vertices: int = 40) -> Graph:
+    """A fixed digraph built without numpy so this module runs on the
+    base install (the generators' RNG streams need numpy)."""
+    edges = []
+    for i in range(num_vertices):
+        for stride in (1, 7, 13):
+            edges.append((i, (i * 3 + stride) % num_vertices))
+    weights = [1.0 + ((src * 31 + dst * 17) % 9) for src, dst in edges]
+    return Graph(
+        num_vertices=num_vertices, edges=edges, weights=weights, name="fixed"
+    )
+
+
+@pytest.fixture
+def plan():
+    return PROGRAMS["sssp"].plan(_deterministic_graph())
+
+
+@pytest.fixture(params=BACKENDS)
+def kernel_cls(request):
+    return get_kernel(request.param)
+
+
+class TestBackendResolution:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "python"
+
+    def test_env_var_honoured(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None) == "numpy"
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend("python") == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_registry_has_both_kernels(self):
+        assert set(KERNELS) == {"python", "numpy"}
+
+    def test_engines_resolve_env_backend(self, plan, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert MRAEvaluator(plan).backend == "python"
+
+
+class TestOptionalNumpy:
+    def test_missing_numpy_proxy_raises_clean_import_error(self):
+        proxy = MissingNumpy()
+        assert not proxy
+        with pytest.raises(ImportError, match="pip install"):
+            proxy.asarray([1.0])
+
+    def test_unavailable_backend_raises_import_error(self, plan, monkeypatch):
+        monkeypatch.setattr(
+            KERNELS["numpy"], "available", classmethod(lambda cls: False)
+        )
+        with pytest.raises(KernelUnavailableError, match="pip install"):
+            get_kernel("numpy")
+        # the error is an ImportError, so `except ImportError` guards work
+        assert issubclass(KernelUnavailableError, ImportError)
+        with pytest.raises(ImportError):
+            MRAEvaluator(plan, backend="numpy").run()
+        assert available_backends() == ["python"]
+
+    def test_install_hint_names_the_extra(self):
+        assert "repro[fast]" in NUMPY_INSTALL_HINT
+
+
+class TestKernelContract:
+    """Every registered backend honours the MonoTable protocol."""
+
+    def test_from_plan_seeds_initial_state(self, kernel_cls, plan):
+        kernel = kernel_cls.from_plan(plan)
+        assert kernel.result() == dict(plan.initial)
+        assert not kernel.has_pending()
+
+    def test_push_combines_pending(self, kernel_cls, plan):
+        kernel = kernel_cls.from_plan(plan)
+        kernel.push(3, 5.0)
+        kernel.push(3, 2.0)  # min aggregate: 2.0 wins
+        assert kernel.pending_count() == 1
+        assert kernel.fetch_and_reset(3) == 2.0
+        assert kernel.fetch_and_reset(3) is None
+
+    def test_step_reaches_the_reference_fixpoint(self, kernel_cls, plan):
+        kernel = kernel_cls.from_plan(plan)
+        from repro.engine.mra import compute_initial_delta
+
+        kernel.push_many(compute_initial_delta(plan).items())
+        for _ in range(10_000):
+            if not kernel.step().changed and not kernel.has_pending():
+                break
+        reference = MRAEvaluator(plan, backend="python").run()
+        assert kernel.result() == reference.values
+
+    def test_snapshot_restore_roundtrip(self, kernel_cls, plan):
+        kernel = kernel_cls.from_plan(plan)
+        kernel.push(1, 4.0)
+        kernel.accumulate(2, 9.0)
+        snap = kernel.snapshot()
+        restored = kernel_cls.from_plan(plan, initial={})
+        restored.restore(snap)
+        assert restored.result() == kernel.result()
+        assert restored.intermediate == kernel.intermediate
+        # the snapshot is a copy, not a view
+        kernel.push(1, 1.0)
+        assert restored.fetch_and_reset(1) == 4.0
+
+    def test_merge_folds_with_g(self, kernel_cls, plan):
+        left = kernel_cls.from_plan(plan, initial={})
+        right = kernel_cls.from_plan(plan, initial={})
+        left.accumulate(5, 3.0)
+        right.accumulate(5, 1.0)
+        right.push(6, 2.0)
+        left.merge(right)
+        assert left.result()[5] == 1.0  # min(3, 1)
+        assert left.fetch_and_reset(6) == 2.0
+
+    def test_state_dicts_hold_plain_floats(self, kernel_cls, plan):
+        """The Checkpointer JSON boundary: accumulated/intermediate must
+        expose builtin floats, never backend scalar types."""
+        import json
+
+        kernel = kernel_cls.from_plan(plan)
+        kernel.push(1, 4.5)
+        kernel.accumulate(2, 9.0)
+        json.dumps({"acc": kernel.accumulated, "pend": kernel.intermediate})
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not installed")
+class TestNumpyCheckpointRoundtrip:
+    def test_sharded_checkpoint_restores_numpy_shards(self, plan, tmp_path):
+        state = ShardedRun(plan, ClusterConfig(num_workers=4), backend="numpy")
+        state.seed_initial_delta()
+        state.checkpoint(Checkpointer(tmp_path), "np-run")
+
+        fresh = ShardedRun(plan, ClusterConfig(num_workers=4), backend="numpy")
+        assert fresh.restore(Checkpointer(tmp_path), "np-run")
+        for original, restored in zip(state.shards, fresh.shards):
+            assert original.accumulated == restored.accumulated
+            assert original.intermediate == restored.intermediate
+
+    def test_cross_backend_checkpoint_interchange(self, plan, tmp_path):
+        """A checkpoint written by one backend restores under the other."""
+        state = ShardedRun(plan, ClusterConfig(num_workers=2), backend="python")
+        state.seed_initial_delta()
+        state.checkpoint(Checkpointer(tmp_path), "interchange")
+
+        other = ShardedRun(plan, ClusterConfig(num_workers=2), backend="numpy")
+        assert other.restore(Checkpointer(tmp_path), "interchange")
+        for original, restored in zip(state.shards, other.shards):
+            assert original.accumulated == restored.accumulated
+            assert original.intermediate == restored.intermediate
+
+
+class TestUnifiedCounters:
+    """combines/updates/F' are counted inside the kernel, once."""
+
+    @pytest.mark.skipif(
+        not HAVE_NUMPY, reason="the cluster simulator's RNG streams need numpy"
+    )
+    def test_single_worker_sync_matches_mra_work(self, plan):
+        """One BSP worker performs exactly the MRA reference's g/F' work."""
+        mra = MRAEvaluator(plan).run()
+        sync = SyncEngine(plan, ClusterConfig(num_workers=1)).run()
+        for field in ("combines", "updates", "fprime_applications"):
+            assert getattr(sync.counters, field) == getattr(mra.counters, field)
+
+    def test_fold_contributions_counts_combines(self):
+        aggregate = PROGRAMS["sssp"].analysis().aggregate
+        counters = WorkCounters()
+        for backend in BACKENDS:
+            counters_before = counters.combines
+            folded = get_kernel(backend).fold_contributions(
+                aggregate, [(1, 5.0), (1, 3.0), (2, 7.0)], counters
+            )
+            assert folded == {1: 3.0, 2: 7.0}
+            # 3 contributions over 2 keys -> exactly 1 combine
+            assert counters.combines - counters_before == 1
+
+    def test_accumulate_counts_updates(self, kernel_cls, plan):
+        kernel = kernel_cls.from_plan(plan, initial={})
+        changed, _ = kernel.accumulate(1, 5.0)
+        assert changed and kernel.counters.updates == 1
+        changed, _ = kernel.accumulate(1, 7.0)  # min: no improvement
+        assert not changed and kernel.counters.updates == 1
+        changed, _ = kernel.accumulate(1, 2.0)
+        assert changed and kernel.counters.updates == 2
+
+    def test_counter_snapshots_identical_across_backends(self, plan):
+        if len(BACKENDS) < 2:
+            pytest.skip("only one backend installed")
+        runs = {b: MRAEvaluator(plan, backend=b).run() for b in BACKENDS}
+        snapshots = {b: r.counters.snapshot() for b, r in runs.items()}
+        reference = snapshots[BACKENDS[0]]
+        assert all(snap == reference for snap in snapshots.values())
+
+
+class TestBackendObservability:
+    def test_result_records_backend(self, plan):
+        result = MRAEvaluator(plan, backend="python").run()
+        assert result.backend == "python"
+        assert result.engine == "mra"
+
+    def test_metrics_record_backend_runs(self, plan):
+        obs = Observability()
+        MRAEvaluator(plan, obs=obs, backend="python").run()
+        counters = obs.metrics.snapshot()["counters"]
+        matching = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("runtime.backend_runs")
+        }
+        assert matching
+        (key,) = matching
+        assert "backend=python" in key and "engine=mra" in key
+        assert matching[key] == 1
+
+    def test_record_backend_metrics_labels_numpy_version(self):
+        if not HAVE_NUMPY:
+            pytest.skip("numpy backend not installed")
+        obs = Observability()
+        record_backend_metrics(obs.metrics, "mra", "numpy")
+        (key,) = [
+            k
+            for k in obs.metrics.snapshot()["counters"]
+            if k.startswith("runtime.backend_runs")
+        ]
+        assert "numpy_version=" in key
+
+
+def test_base_kernel_is_abstract(plan):
+    kernel = Kernel()
+    with pytest.raises(NotImplementedError):
+        kernel.push(0, 1.0)

@@ -33,15 +33,20 @@ class TestShardedRun:
         assert state.total_pending() > 0
 
     def test_merged_values_unions_shards(self, state):
-        state.shards[0].accumulated["only-here"] = 7
+        probes = {}
+        for worker, shard in enumerate(state.shards):
+            key = min(state.shard_keys[worker])
+            shard.accumulated = {key: float(worker + 1)}
+            probes[key] = float(worker + 1)
         merged = state.merged_values()
-        assert merged["only-here"] == 7
+        for key, value in probes.items():
+            assert merged[key] == value
 
     def test_global_accumulation_sums_magnitudes(self, state):
         for shard in state.shards:
-            shard.accumulated.clear()
-        state.shards[0].accumulated[1] = 3
-        state.shards[1].accumulated[2] = -4
+            shard.accumulated = {}
+        state.shards[0].accumulated = {min(state.shard_keys[0]): 3}
+        state.shards[1].accumulated = {min(state.shard_keys[1]): -4}
         assert state.global_accumulation() == 7.0
 
     def test_checkpoint_roundtrip(self, state, tmp_path):
