@@ -7,7 +7,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint test chaos bench quick-bench smoke-bench examples check clean
+.PHONY: install lint lint-programs typecheck test chaos bench quick-bench smoke-bench examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,28 @@ lint:
 	else \
 		echo "ruff not installed; falling back to compileall syntax check"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+	$(PYTHON) tools/lint_invariants.py
+
+# static analysis over every library program and the example .dl files;
+# the registry must stay free of errors (gcn/commnet warn RA310, which
+# only fails under --gate async)
+lint-programs:
+	$(PYTHON) -m repro lint sssp cc pagerank adsorption katz bp dag_paths \
+		cost viterbi simrank lca apsp commnet gcn
+	@for file in examples/datalog/*.dl; do \
+		case "$$file" in *bad_*) continue;; esac; \
+		echo "== $$file =="; \
+		$(PYTHON) -m repro lint "$$file" || exit 1; \
+	done
+
+# strict typing is introduced module-by-module; repro.analysis is the
+# first fully typed one (mypy when available -- CI installs it)
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/analysis; \
+	else \
+		echo "mypy not installed; skipping (CI runs the strict job)"; \
 	fi
 
 test:

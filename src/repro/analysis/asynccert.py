@@ -1,0 +1,144 @@
+"""Theorem-3 async-eligibility certification: RA310/RA311.
+
+Theorem 3 of the paper guarantees that asynchronous evaluation converges
+to the same fixpoint as synchronous evaluation *provided* the program
+satisfies the MRA conditions of Theorem 1.  The asynchronous engines
+(:class:`~repro.distributed.async_engine.AsyncEngine` and its unified /
+AAP subclasses) therefore refuse to run a program without a certificate:
+an uncertified program would silently compute wrong answers under
+message reordering.
+
+Certification is cheap and proof-only:
+
+1. the Theorem-1 pre-screen (:mod:`repro.analysis.prescreen`) -- pure
+   pattern matching, certifies the common shapes instantly;
+2. the structural prover of :mod:`repro.checker.prover` on the residue.
+
+The refuter is deliberately *not* consulted: a certificate must be a
+proof, and "random testing found no counterexample" is not one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, info, warning
+from repro.analysis.prescreen import prescreen
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.analyzer import ProgramAnalysis
+
+
+@dataclass(frozen=True)
+class AsyncCertificate:
+    """Verdict of the Theorem-3 eligibility check for one program."""
+
+    program: str
+    eligible: bool
+    #: how the certificate was obtained: ``prescreen(<pattern>)`` or
+    #: ``structural-prover``; empty when refused
+    method: str
+    detail: str
+    diagnostic: Diagnostic
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "eligible": self.eligible,
+            "method": self.method,
+            "detail": self.detail,
+            "diagnostic": self.diagnostic.to_dict(),
+        }
+
+
+class AsyncIneligibleError(Exception):
+    """Raised when an async engine is pointed at an uncertified program.
+
+    Carries the RA310 :class:`~repro.analysis.diagnostics.Diagnostic`
+    so callers (the CLI in particular) can render the refusal as a
+    diagnostic instead of a stack trace.
+    """
+
+    def __init__(self, certificate: AsyncCertificate):
+        super().__init__(certificate.diagnostic.render())
+        self.certificate = certificate
+        self.diagnostic = certificate.diagnostic
+
+
+def certify_async(analysis: "ProgramAnalysis") -> AsyncCertificate:
+    """Try to certify a program for asynchronous execution (Theorem 3)."""
+    name = analysis.program.name
+
+    verdict = prescreen(analysis)
+    if verdict.eligible:
+        method = f"prescreen({verdict.pattern})"
+        detail = (
+            "Theorem-1 pre-screen certifies the MRA conditions "
+            f"({verdict.detail}); Theorem 3 then guarantees async "
+            "convergence"
+        )
+        return AsyncCertificate(
+            program=name,
+            eligible=True,
+            method=method,
+            detail=detail,
+            diagnostic=info("RA311", f"{name}: async certified via {method}"),
+        )
+
+    # residue: run the structural prover only (no refuter -- proofs only)
+    from repro.checker.prover import prove_property1, prove_property2
+
+    property1 = prove_property1(analysis.aggregate)
+    if property1 is None:
+        return _refused(
+            name,
+            f"aggregate {analysis.aggregate.name!r} is not provably "
+            "commutative and associative (Property 1)",
+        )
+    for spec in analysis.recursions:
+        result = prove_property2(
+            analysis.aggregate, spec.fprime, spec.recursion_var, analysis.domains
+        )
+        if result is None:
+            return _refused(
+                name,
+                f"Property 2 not provable for F' = {spec.fprime!r} over "
+                f"{spec.recursion_var!r}",
+            )
+    return AsyncCertificate(
+        program=name,
+        eligible=True,
+        method="structural-prover",
+        detail=(
+            "structural prover established Properties 1 and 2; Theorem 3 "
+            "then guarantees async convergence"
+        ),
+        diagnostic=info(
+            "RA311", f"{name}: async certified via structural-prover"
+        ),
+    )
+
+
+def _refused(name: str, reason: str) -> AsyncCertificate:
+    diagnostic = warning(
+        "RA310",
+        f"{name}: not certified for asynchronous execution: {reason}",
+        hint="run on the synchronous engine, or rewrite F' into a "
+        "provably MRA-eligible shape (see DESIGN.md, 'Static analysis')",
+    )
+    return AsyncCertificate(
+        program=name,
+        eligible=False,
+        method="",
+        detail=reason,
+        diagnostic=diagnostic,
+    )
+
+
+def require_async_certified(analysis: "ProgramAnalysis") -> AsyncCertificate:
+    """Certify or raise :class:`AsyncIneligibleError` (for the engines)."""
+    certificate = certify_async(analysis)
+    if not certificate.eligible:
+        raise AsyncIneligibleError(certificate)
+    return certificate

@@ -1,0 +1,177 @@
+"""Predicate dependency graph: edges, SCC decomposition, strata.
+
+The graph has one node per predicate; a directed edge ``p -> q`` records
+that some body of a rule for ``p`` mentions ``q``.  Edges carry a flag
+for whether the *consuming* rule aggregates (its head has an aggregate
+spec), which is what the stratification check needs: aggregation is only
+allowed inside a strongly connected component when the component is the
+single directly-recursive predicate of the supported class -- anything
+else is aggregation through mutual recursion, which has no stratified
+semantics (FlowLog-style plan analysis makes the same distinction).
+
+Everything here is deterministic: iteration follows program order, SCCs
+come out in reverse topological (bottom-up) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.ast import Program, Rule
+
+
+@dataclass
+class DependencyGraph:
+    """Predicate-level dependency structure of one program."""
+
+    #: every predicate, program order (heads first, then EDB references)
+    predicates: list[str] = field(default_factory=list)
+    #: ``p -> [q, ...]``: q appears in a body of a rule for p (deduped)
+    edges: dict[str, list[str]] = field(default_factory=dict)
+    #: predicates whose rules aggregate over ``q``: ``q in agg_consumers[p]``
+    #: means a rule for ``p`` with an aggregate head mentions ``q``
+    agg_edges: dict[str, list[str]] = field(default_factory=dict)
+    #: rules grouped by head predicate, program order
+    rules_by_head: dict[str, list["Rule"]] = field(default_factory=dict)
+
+    def defined(self) -> list[str]:
+        """Predicates with at least one rule (the IDB)."""
+        return list(self.rules_by_head)
+
+    def edb(self) -> list[str]:
+        """Predicates referenced but never defined (the EDB)."""
+        return [p for p in self.predicates if p not in self.rules_by_head]
+
+
+def build_graph(program: "Program") -> DependencyGraph:
+    """Build the predicate dependency graph of a parsed program."""
+    graph = DependencyGraph()
+
+    def note(predicate: str) -> None:
+        if predicate not in graph.edges:
+            graph.predicates.append(predicate)
+            graph.edges[predicate] = []
+            graph.agg_edges[predicate] = []
+
+    for rule in program.rules:
+        head = rule.head.name
+        note(head)
+        graph.rules_by_head.setdefault(head, []).append(rule)
+        aggregated = rule.head.aggregate is not None
+        for body in rule.bodies:
+            for atom in body.predicate_atoms():
+                note(atom.name)
+                if atom.name not in graph.edges[head]:
+                    graph.edges[head].append(atom.name)
+                if aggregated and atom.name not in graph.agg_edges[head]:
+                    graph.agg_edges[head].append(atom.name)
+    return graph
+
+
+def strongly_connected_components(graph: DependencyGraph) -> list[list[str]]:
+    """Tarjan's algorithm, iterative; components in bottom-up order.
+
+    "Bottom-up" means a component only depends on components listed
+    before it (reverse topological order of the condensation), which is
+    exactly evaluation-stratum order.
+    """
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: dict[str, bool] = {}
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = [0]
+
+    for root in graph.predicates:
+        if root in index_of:
+            continue
+        # iterative Tarjan: (node, iterator position) work stack
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            successors = graph.edges.get(node, [])
+            for position in range(child_index, len(successors)):
+                successor = successors[position]
+                if successor not in index_of:
+                    work.append((node, position + 1))
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if on_stack.get(successor):
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def recursive_components(graph: DependencyGraph) -> list[list[str]]:
+    """SCCs that actually contain a cycle (size > 1, or a self-loop)."""
+    recursive: list[list[str]] = []
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive.append(component)
+        else:
+            node = component[0]
+            if node in graph.edges.get(node, []):
+                recursive.append(component)
+    return recursive
+
+
+def strata(graph: DependencyGraph) -> list[list[str]]:
+    """Evaluation strata: each stratum only depends on earlier ones.
+
+    Stratum 0 is the EDB plus any predicate with no dependencies; each
+    SCC lands in the stratum after the deepest component it reads from.
+    """
+    components = strongly_connected_components(graph)
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(components):
+        for member in component:
+            component_of[member] = index
+    depth: dict[int, int] = {}
+    for index, component in enumerate(components):
+        deepest = 0
+        for member in component:
+            for successor in graph.edges.get(member, []):
+                target = component_of[successor]
+                if target != index:
+                    deepest = max(deepest, depth[target] + 1)
+        depth[index] = deepest
+    grouped: dict[int, list[str]] = {}
+    for index, component in enumerate(components):
+        grouped.setdefault(depth[index], []).extend(component)
+    return [grouped[level] for level in sorted(grouped)]
+
+
+def reachable_from(graph: DependencyGraph, start: str) -> set[str]:
+    """Predicates reachable from ``start`` along dependency edges."""
+    seen: set[str] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.edges.get(node, []))
+    return seen

@@ -1,0 +1,192 @@
+"""Classic lints: RA201..RA204.
+
+These are the hygiene checks every Datalog front end grows eventually:
+unbound head variables (an error -- the rule cannot be evaluated),
+predicates that feed nothing, structurally duplicate rules, and
+variables mentioned exactly once (usually a typo for ``_``).
+
+The binding model matches the runtime of :mod:`repro.engine.rules`:
+a variable is bound by appearing in a predicate atom, by an ``assume``
+declaration (program parameters), or by a definition ``v = expr`` whose
+right-hand side is already fully bound (computed to fixpoint, in any
+order, as the runtime defers comparisons until their inputs exist).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.ast import (
+    AggregateSpec,
+    Program,
+    Rule,
+    RuleBody,
+    Variable,
+)
+from repro.analysis.depgraph import build_graph, reachable_from
+from repro.analysis.diagnostics import Diagnostic, error, warning
+from repro.expr import Var
+
+
+def _span_kwargs(rule: Rule) -> dict:
+    if rule.span is not None:
+        return {"line": rule.span.line, "column": rule.span.column}
+    return {}
+
+
+def _bound_variables(body: RuleBody, assumed: frozenset[str]) -> set[str]:
+    """Fixpoint of the binding rules for one body."""
+    bound: set[str] = set(assumed)
+    for atom in body.predicate_atoms():
+        bound.update(atom.variables())
+    changed = True
+    while changed:
+        changed = False
+        for comparison in body.comparison_atoms():
+            if comparison.op != "=" or not isinstance(comparison.left, Var):
+                continue
+            name = comparison.left.name
+            if name in bound:
+                continue
+            if comparison.right.free_vars() <= bound:
+                bound.add(name)
+                changed = True
+    return bound
+
+
+def _head_variables(rule: Rule) -> list[str]:
+    names: list[str] = []
+    for term in rule.head.terms:
+        if isinstance(term, Variable):
+            names.append(term.name)
+        elif isinstance(term, AggregateSpec):
+            names.append(term.variable)
+    return names
+
+
+def lint_unbound_head_variables(program: Program) -> list[Diagnostic]:
+    """RA201: every head variable must be bound in every body."""
+    diagnostics: list[Diagnostic] = []
+    assumed = frozenset(decl.variable for decl in program.assumptions)
+    for rule in program.rules:
+        head_vars = _head_variables(rule)
+        if not rule.bodies:
+            for name in head_vars:
+                diagnostics.append(
+                    error(
+                        "RA201",
+                        f"unbound head variable {name!r}: fact rule for "
+                        f"{rule.head.name!r} has no body to bind it",
+                        hint="facts must use constants in every position",
+                        **_span_kwargs(rule),
+                    )
+                )
+            continue
+        for index, body in enumerate(rule.bodies):
+            bound = _bound_variables(body, assumed)
+            for name in head_vars:
+                if name not in bound:
+                    diagnostics.append(
+                        error(
+                            "RA201",
+                            f"unbound head variable {name!r} in body {index} "
+                            f"of the rule for {rule.head.name!r}",
+                            hint="bind it with a predicate atom or a "
+                            f"definition '{name} = ...'",
+                            **_span_kwargs(rule),
+                        )
+                    )
+    return diagnostics
+
+
+def lint_unused_predicates(
+    program: Program, output: Optional[str]
+) -> list[Diagnostic]:
+    """RA202: defined predicates that the output never reads."""
+    if output is None:
+        return []
+    graph = build_graph(program)
+    live = reachable_from(graph, output)
+    diagnostics: list[Diagnostic] = []
+    for predicate, rules in graph.rules_by_head.items():
+        if predicate in live:
+            continue
+        diagnostics.append(
+            warning(
+                "RA202",
+                f"predicate {predicate!r} is defined but never used by "
+                f"the output predicate {output!r}",
+                hint="delete the rule or wire the predicate into the program",
+                **_span_kwargs(rules[0]),
+            )
+        )
+    return diagnostics
+
+
+def lint_duplicate_rules(program: Program) -> list[Diagnostic]:
+    """RA203: structurally identical rules (spans ignored)."""
+    diagnostics: list[Diagnostic] = []
+    seen: list[Rule] = []
+    for rule in program.rules:
+        if any(rule == earlier for earlier in seen):
+            diagnostics.append(
+                warning(
+                    "RA203",
+                    f"duplicate rule for {rule.head.name!r}",
+                    hint="remove the repeated rule; it contributes nothing",
+                    **_span_kwargs(rule),
+                )
+            )
+        else:
+            seen.append(rule)
+    return diagnostics
+
+
+def lint_singleton_variables(program: Program) -> list[Diagnostic]:
+    """RA204: body variables used exactly once (probably a typo for ``_``)."""
+    diagnostics: list[Diagnostic] = []
+    for rule in program.rules:
+        head_names = set(_head_variables(rule))
+        for term in rule.head.terms:
+            # iteration markers also tie variables to the head
+            name = getattr(term, "name", None)
+            if isinstance(name, str):
+                head_names.add(name)
+        for index, body in enumerate(rule.bodies):
+            counts: dict[str, int] = {}
+            for atom in body.predicate_atoms():
+                for name in atom.variables():
+                    counts[name] = counts.get(name, 0) + 1
+                for term in atom.terms:
+                    marker = getattr(term, "name", None)
+                    if isinstance(marker, str) and not isinstance(term, Variable):
+                        counts[marker] = counts.get(marker, 0) + 2
+            for comparison in body.comparison_atoms():
+                for name in comparison.left.free_vars() | comparison.right.free_vars():
+                    counts[name] = counts.get(name, 0) + 1
+            # the termination clause's delta variable is documentation
+            # only ({sum[delta] < eps}); never flag it
+            termination_vars = {
+                atom.variable for atom in body.termination_atoms()
+            }
+            for name, count in counts.items():
+                if count == 1 and name not in head_names and name not in termination_vars:
+                    diagnostics.append(
+                        warning(
+                            "RA204",
+                            f"variable {name!r} occurs only once in body "
+                            f"{index} of the rule for {rule.head.name!r}",
+                            hint="use '_' if the value is deliberately ignored",
+                            **_span_kwargs(rule),
+                        )
+                    )
+    return diagnostics
+
+
+def run_lints(program: Program, output: Optional[str]) -> list[Diagnostic]:
+    """All RA2xx lints; ``output`` is the recursive head when known."""
+    diagnostics = lint_unbound_head_variables(program)
+    diagnostics.extend(lint_unused_predicates(program, output))
+    diagnostics.extend(lint_duplicate_rules(program))
+    diagnostics.extend(lint_singleton_variables(program))
+    return diagnostics

@@ -1,0 +1,162 @@
+"""The multi-pass driver behind ``repro lint``.
+
+Pass order (each later pass only runs when the earlier ones left the
+program usable):
+
+1. parse           -- lexical / syntax errors (RA001, RA002);
+2. dependency      -- predicate graph, SCC decomposition, strata;
+3. structure       -- the program-class constraints (RA1xx);
+4. lints           -- hygiene warnings (RA2xx);
+5. extraction      -- the analyzer's G/F'/C decomposition (RA12x on
+   failure, reported as diagnostics rather than stack traces);
+6. theorem-1 pre-screen (RA301/RA302), theorem-3 async certification
+   (RA310/RA311) and communication-shape analysis (RA401).
+
+Every pass appends to one :class:`~repro.analysis.diagnostics.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.analysis.asynccert import certify_async
+from repro.analysis.comm import communication_shape, estimate_plan_communication
+from repro.analysis.depgraph import build_graph, strata
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, error, info
+from repro.analysis.lints import run_lints
+from repro.analysis.prescreen import prescreen
+from repro.analysis.structure import check_structure
+from repro.datalog import AnalysisError, LexError, ParseError, parse_program
+from repro.datalog.ast import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.plan import CompiledPlan
+
+
+def diagnostic_from_error(exc: Exception) -> Diagnostic:
+    """Map a front-end exception onto its stable diagnostic."""
+    if isinstance(exc, LexError):
+        return error("RA001", str(exc), line=exc.line, column=exc.column)
+    if isinstance(exc, ParseError):
+        line = exc.line if exc.line else None
+        column = exc.column if exc.line else None
+        return error("RA002", str(exc), line=line, column=column)
+    attached = getattr(exc, "diagnostic", None)
+    if attached is not None:
+        return attached
+    code = getattr(exc, "code", None) or "RA129"
+    return error(code, str(exc))
+
+
+def analyze_program(
+    program: Program,
+    *,
+    workers: int = 4,
+    plan: Optional["CompiledPlan"] = None,
+) -> AnalysisReport:
+    """Run every analysis pass over a parsed program.
+
+    ``workers`` parameterises the communication estimate; ``plan``, when
+    provided, upgrades it from the uniform-hashing expectation to an
+    exact cross-worker edge census of the compiled plan.
+    """
+    report = AnalysisReport(program=program.name)
+
+    graph = build_graph(program)
+    report.strata = strata(graph)
+
+    structure_diagnostics, rule = check_structure(program)
+    report.extend(structure_diagnostics)
+    output = rule.head.name if rule is not None else None
+    report.extend(run_lints(program, output))
+    if not report.ok:
+        return report.finish()
+
+    from repro.datalog import analyze
+
+    try:
+        analysis = analyze(program)
+    except AnalysisError as exc:
+        report.add(diagnostic_from_error(exc))
+        return report.finish()
+
+    # -- Theorem-1 pre-screen ---------------------------------------------
+    verdict = prescreen(analysis)
+    report.theorem1 = verdict.to_dict()
+    if verdict.eligible:
+        report.add(
+            info(
+                "RA301",
+                f"Theorem-1 pre-screen: eligible via {verdict.pattern} "
+                f"({verdict.detail})",
+            )
+        )
+    else:
+        report.add(
+            info("RA302", f"Theorem-1 pre-screen inconclusive: {verdict.detail}")
+        )
+
+    # -- Theorem-3 async certification ------------------------------------
+    certificate = certify_async(analysis)
+    report.theorem3 = {
+        "eligible": certificate.eligible,
+        "method": certificate.method or None,
+        "detail": certificate.detail,
+    }
+    report.add(certificate.diagnostic)
+
+    # -- communication shape ----------------------------------------------
+    estimate = (
+        estimate_plan_communication(plan, workers) if plan is not None else None
+    )
+    for shape in communication_shape(analysis):
+        entry = shape.to_dict()
+        entry["workers"] = workers
+        if estimate is not None:
+            entry["estimated_cross_fraction"] = estimate.cross_fraction
+        elif shape.co_partitionable:
+            entry["estimated_cross_fraction"] = 0.0
+        else:
+            # uniform-hashing expectation: a random edge lands on another
+            # worker with probability (w-1)/w
+            entry["estimated_cross_fraction"] = (workers - 1) / workers
+        report.communication.append(entry)
+        report.add(info("RA401", f"body {shape.body}: {shape.detail}"))
+    if estimate is not None:
+        report.communication.append(
+            {
+                "body": "plan",
+                "co_partitionable": estimate.cross_edges == 0,
+                "workers": estimate.workers,
+                "estimated_cross_fraction": estimate.cross_fraction,
+                "total_edges": estimate.total_edges,
+                "cross_edges": estimate.cross_edges,
+            }
+        )
+        report.add(
+            info(
+                "RA401",
+                f"compiled plan ships {estimate.cross_edges} of "
+                f"{estimate.total_edges} edges cross-worker "
+                f"({estimate.cross_fraction:.1%}) at {estimate.workers} workers",
+            )
+        )
+
+    return report.finish()
+
+
+def analyze_source(
+    source: str,
+    name: str = "program",
+    *,
+    workers: int = 4,
+    plan: Optional["CompiledPlan"] = None,
+) -> AnalysisReport:
+    """Parse and analyze Datalog source text; never raises front-end errors."""
+    try:
+        program = parse_program(source, name=name)
+    except (LexError, ParseError) as exc:
+        report = AnalysisReport(program=name)
+        report.add(diagnostic_from_error(exc))
+        return report.finish()
+    return analyze_program(program, workers=workers, plan=plan)

@@ -16,11 +16,57 @@ from repro.checker.refuter import (
     refute_property1,
     refute_property2,
 )
-from repro.checker.report import CheckReport
+from repro.checker.report import CheckReport, PropertyResult, Status
+
+
+def _prescreen_report(analysis: ProgramAnalysis) -> "CheckReport | None":
+    """Fast path: the Theorem-1 structural pre-screen of ``repro.analysis``.
+
+    The pre-screen recognises trivially eligible ``F'`` shapes by pure
+    pattern matching; when it fires, the prover/refuter machinery is
+    skipped entirely.  Soundness (pre-screen eligible implies the full
+    checker would also say MRA-satisfiable) is regression-tested over
+    the whole program registry.
+    """
+    from repro.analysis.prescreen import prescreen
+
+    verdict = prescreen(analysis)
+    if not verdict.eligible:
+        return None
+    aggregate = analysis.aggregate
+    method = f"structural:prescreen({verdict.pattern})"
+    property1 = PropertyResult(
+        property_name="property1",
+        status=Status.PROVED,
+        method="predefined-operator",
+        detail=(
+            f"{aggregate.name} is a predefined commutative and associative "
+            "operator (paper section 5.1)"
+        ),
+    )
+    property2 = PropertyResult(
+        property_name="property2",
+        status=Status.PROVED,
+        method=method,
+        detail=verdict.detail,
+    )
+    return CheckReport(
+        program_name=analysis.program.name,
+        aggregate_name=aggregate.name,
+        fprime_repr=repr(analysis.fprime),
+        recursion_var=analysis.recursion_var,
+        property1=property1,
+        property2=property2,
+        decomposable=True,
+    )
 
 
 def check_analysis(analysis: ProgramAnalysis) -> CheckReport:
     """Check the MRA conditions for an analysed program."""
+    fast = _prescreen_report(analysis)
+    if fast is not None:
+        return fast
+
     aggregate = analysis.aggregate
 
     property1 = prove_property1(aggregate)

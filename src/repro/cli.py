@@ -2,6 +2,12 @@
 
 Commands:
 
+* ``lint TARGETS...``     -- run the static analyzer (structure checks,
+  lints, Theorem-1 pre-screen, Theorem-3 async certificate,
+  communication shape) over Datalog files / library programs;
+  ``--format json`` emits machine-readable reports, ``--gate async``
+  fails uncertified programs, ``--exact`` counts cross-worker edges on
+  the compiled plan;
 * ``check FILE|PROGRAM``  -- run the automatic MRA condition checker on a
   Datalog source file (or a library program name); ``--smt2`` also emits
   the Figure-4 Z3 script;
@@ -66,6 +72,16 @@ _ENGINES = {
     ),
 }
 
+def _build_engine(engine: str, plan, cluster, obs=None, backend=None):
+    """Construct an engine, rendering Theorem-3 refusals as diagnostics."""
+    from repro.analysis import AsyncIneligibleError
+
+    try:
+        return _ENGINES[engine](plan, cluster, obs=obs, backend=backend)
+    except AsyncIneligibleError as exc:
+        raise SystemExit(f"error: {exc.diagnostic.render()}")
+
+
 _EXPERIMENTS = {
     "table1": ("run_table1", {}),
     "table2": ("run_table2", {}),
@@ -94,6 +110,45 @@ def _load_analysis(target: str):
         f"error: {target!r} is neither a file nor a library program "
         f"(library programs: {', '.join(PROGRAMS)})"
     )
+
+
+def _lint_target(target: str) -> tuple[str, str]:
+    """Resolve a lint target to ``(name, source)``."""
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            return os.path.splitext(os.path.basename(target))[0], handle.read()
+    if target in PROGRAMS:
+        return target, PROGRAMS[target].source
+    raise SystemExit(
+        f"error: {target!r} is neither a file nor a library program "
+        f"(library programs: {', '.join(PROGRAMS)})"
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze_source
+
+    worst = 0
+    payloads = []
+    for target in args.targets:
+        name, source = _lint_target(target)
+        plan = None
+        if args.exact and name in PROGRAMS:
+            from repro.distributed.chaos_harness import default_graph
+
+            plan = PROGRAMS[name].plan(default_graph(name, seed=args.seed))
+        report = analyze_source(source, name=name, workers=args.workers, plan=plan)
+        if args.format == "json":
+            payloads.append(report.to_dict())
+        else:
+            print(report.render_text())
+        worst = max(worst, report.exit_code(gate=args.gate))
+    if args.format == "json":
+        document = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(document, indent=2))
+    return worst
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -132,7 +187,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = system.run(spec, graph, cluster, backend=args.backend)
     else:
         plan = spec.plan(graph)
-        result = _ENGINES[args.engine](plan, cluster, backend=args.backend).run()
+        result = _build_engine(
+            args.engine, plan, cluster, backend=args.backend
+        ).run()
     print(
         f"{spec.title} on {graph.name} ({graph.num_vertices} vertices, "
         f"{graph.num_edges} edges), engine={result.engine or args.engine}, "
@@ -183,6 +240,7 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis import AsyncIneligibleError
     from repro.distributed.chaos_harness import (
         DEFAULT_PROGRAMS,
         format_matrix,
@@ -210,6 +268,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    except AsyncIneligibleError as exc:
+        raise SystemExit(f"error: {exc.diagnostic.render()}")
     print(format_matrix(reports))
     if args.verbose:
         for report in reports:
@@ -241,8 +301,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     graph = _observed_graph(args)
     cluster = ClusterConfig(num_workers=args.workers)
     if args.chaos:
-        reference = _ENGINES[args.engine](
-            spec.plan(graph), cluster, backend=args.backend
+        reference = _build_engine(
+            args.engine, spec.plan(graph), cluster, backend=args.backend
         ).run()
         schedule = schedule_for(
             reference.simulated_seconds, cluster.num_workers, seed=args.seed
@@ -250,8 +310,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         cluster = cluster.with_faults(schedule)
         print(f"fault schedule: {schedule.describe()}")
     with Observability(trace_path=args.out) as obs:
-        result = _ENGINES[args.engine](
-            spec.plan(graph), cluster, obs, backend=args.backend
+        result = _build_engine(
+            args.engine, spec.plan(graph), cluster, obs, backend=args.backend
         ).run()
     events = obs.trace.events
     print(
@@ -291,8 +351,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     graph = _observed_graph(args)
     cluster = ClusterConfig(num_workers=args.workers)
     obs = Observability()
-    result = _ENGINES[args.engine](
-        spec.plan(graph), cluster, obs, backend=args.backend
+    result = _build_engine(
+        args.engine, spec.plan(graph), cluster, obs, backend=args.backend
     ).run()
     metrics = result.metrics
     print(
@@ -313,6 +373,15 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             f"histogram {key}: count={stats['count']} mean={stats['mean']:.2f} "
             f"min={stats['min']:g} max={stats['max']:g}"
         )
+    comm = {
+        key: value
+        for key, value in snapshot["gauges"].items()
+        if key.split("{", 1)[0].startswith("comm_")
+    }
+    if comm:
+        print("communication shape (hash-partitioned plan):")
+        for key, value in sorted(comm.items()):
+            print(f"  {key:28s} {value:g}")
     series_found = False
     for labels, series in metrics.gauge_series("buffer.beta"):
         if not series_found:
@@ -365,6 +434,40 @@ def build_parser() -> argparse.ArgumentParser:
         description="PowerLog reproduction (SIGMOD 2020)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser(
+        "lint", help="run the static analyzer over Datalog programs"
+    )
+    lint.add_argument(
+        "targets",
+        nargs="+",
+        help="Datalog files and/or library program names",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"], dest="format"
+    )
+    lint.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the communication-shape estimate",
+    )
+    lint.add_argument(
+        "--gate",
+        default="none",
+        choices=["none", "async"],
+        help="'async' also fails programs without a Theorem-3 certificate",
+    )
+    lint.add_argument(
+        "--exact",
+        action="store_true",
+        help=(
+            "compile library programs against their default graph and "
+            "count cross-worker edges exactly"
+        ),
+    )
+    lint.add_argument("--seed", type=int, default=7)
+    lint.set_defaults(func=cmd_lint)
 
     check = commands.add_parser("check", help="run the MRA condition checker")
     check.add_argument("target", help="Datalog file or library program name")

@@ -21,6 +21,7 @@ constant part ``C`` (section 5.1).
 
 from repro.datalog.errors import DatalogError, LexError, ParseError, AnalysisError
 from repro.datalog.ast import (
+    Span,
     Variable,
     NumberConstant,
     SymbolConstant,
@@ -47,6 +48,7 @@ __all__ = [
     "LexError",
     "ParseError",
     "AnalysisError",
+    "Span",
     "Variable",
     "NumberConstant",
     "SymbolConstant",

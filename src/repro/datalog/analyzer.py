@@ -129,7 +129,9 @@ def _domains_from_assumptions(program: Program) -> dict[str, Interval]:
         elif decl.op == "=":
             update = Interval(bound, bound)
         else:
-            raise AnalysisError(f"unsupported assume operator {decl.op!r}")
+            raise AnalysisError(
+                f"unsupported assume operator {decl.op!r}", code="RA112"
+            )
         domains[decl.variable] = _intersect(current, update)
     return domains
 
@@ -142,26 +144,23 @@ def _intersect(a: Interval, b: Interval) -> Interval:
     return Interval(lo, hi, lo_strict, hi_strict)
 
 
-def _find_recursive_rule(program: Program) -> Rule:
-    recursive = [rule for rule in program.rules if rule.is_recursive()]
-    if not recursive:
-        raise AnalysisError("program has no recursive rule")
-    if len(recursive) > 1:
-        names = [r.head.name for r in recursive]
-        raise AnalysisError(
-            f"mutual/multiple recursion is not supported (recursive rules for {names})"
-        )
-    rule = recursive[0]
-    # direct recursion only (section 2.1, footnote 2): no other rule may
-    # mention the recursive predicate, or recursion becomes mutual.
-    for other in program.rules:
-        if other is rule:
-            continue
-        if any(body.mentions(rule.head.name) for body in other.bodies):
-            raise AnalysisError(
-                f"indirect/mutual recursion: rule for {other.head.name!r} "
-                f"depends on the recursive predicate {rule.head.name!r}"
-            )
+def _check_structure(program: Program) -> Rule:
+    """Delegate the program-class checks to :mod:`repro.analysis.structure`.
+
+    The structure pass is the single source of truth for the supported
+    class (it replaced the ad-hoc checks that used to live here; its SCC
+    decomposition also catches mutual recursion without self-loops).
+    Imported lazily to keep ``repro.datalog`` importable on its own.
+    """
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.structure import check_structure
+
+    diagnostics, rule = check_structure(program)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        first = errors[0]
+        raise AnalysisError(first.message, code=first.code, diagnostic=first)
+    assert rule is not None  # no errors implies a unique recursive rule
     return rule
 
 
@@ -172,7 +171,9 @@ def _split_iteration(rule: Rule) -> tuple[bool, Optional[str]]:
     for position, term in enumerate(rule.head.terms):
         if isinstance(term, IterationNext):
             if position != 0:
-                raise AnalysisError("iteration index must be the first argument")
+                raise AnalysisError(
+                    "iteration index must be the first argument", code="RA107"
+                )
             return True, term.name
     return False, None
 
@@ -187,7 +188,8 @@ def _decompose_recursive_body(
     r_atoms = [a for a in body.predicate_atoms() if a.name == head]
     if len(r_atoms) != 1:
         raise AnalysisError(
-            f"non-linear recursion: body mentions {head!r} {len(r_atoms)} times"
+            f"non-linear recursion: body mentions {head!r} {len(r_atoms)} times",
+            code="RA104",
         )
     r_atom = r_atoms[0]
     terms = list(_strip_iteration_terms(r_atom, iterated))
@@ -195,14 +197,18 @@ def _decompose_recursive_body(
         first = r_atom.terms[0]
         if not (isinstance(first, Variable) and first.name == iter_var):
             raise AnalysisError(
-                f"recursive atom must use iteration index {iter_var!r} as first argument"
+                f"recursive atom must use iteration index {iter_var!r} as first argument",
+                code="RA107",
             )
     if not terms:
-        raise AnalysisError(f"recursive atom {r_atom!r} has no value position")
+        raise AnalysisError(
+            f"recursive atom {r_atom!r} has no value position", code="RA109"
+        )
     value_term = terms[-1]
     if not isinstance(value_term, Variable):
         raise AnalysisError(
-            f"value position of {r_atom!r} must be a variable, found {value_term!r}"
+            f"value position of {r_atom!r} must be a variable, found {value_term!r}",
+            code="RA109",
         )
     source_keys = []
     for term in terms[:-1]:
@@ -210,7 +216,8 @@ def _decompose_recursive_body(
             source_keys.append(term.name)
         elif not isinstance(term, Wildcard):
             raise AnalysisError(
-                f"key positions of {r_atom!r} must be variables, found {term!r}"
+                f"key positions of {r_atom!r} must be variables, found {term!r}",
+                code="RA108",
             )
     join_atoms = tuple(a for a in body.predicate_atoms() if a is not r_atom)
     return RecursionSpec(
@@ -245,7 +252,9 @@ def _resolve_fprime(spec: RecursionSpec, agg_var: str) -> Expr:
         if name in bound_by_predicates:
             continue  # a filter such as ``X = 1`` on a join variable
         if name in definitions:
-            raise AnalysisError(f"variable {name!r} defined more than once")
+            raise AnalysisError(
+                f"variable {name!r} defined more than once", code="RA121"
+            )
         definitions[name] = comparison.right
 
     if agg_var in definitions:
@@ -255,7 +264,8 @@ def _resolve_fprime(spec: RecursionSpec, agg_var: str) -> Expr:
         fprime = Var(spec.recursion_var)
     else:
         raise AnalysisError(
-            f"aggregate variable {agg_var!r} is not defined in the recursive body"
+            f"aggregate variable {agg_var!r} is not defined in the recursive body",
+            code="RA120",
         )
 
     # Substitute chained definitions, e.g. ``a = b * c, b = x + 1``.
@@ -269,7 +279,7 @@ def _resolve_fprime(spec: RecursionSpec, agg_var: str) -> Expr:
             break
         fprime = fprime.substitute(pending)
     else:
-        raise AnalysisError("cyclic definitions in recursive body")
+        raise AnalysisError("cyclic definitions in recursive body", code="RA122")
     return fprime
 
 
@@ -279,31 +289,20 @@ def analyze(program: Program) -> ProgramAnalysis:
     Raises :class:`~repro.datalog.errors.AnalysisError` when the program
     falls outside the supported class of section 2.1.
     """
-    rule = _find_recursive_rule(program)
+    rule = _check_structure(program)
     head = rule.head.name
     agg_spec = rule.head.aggregate
-    if agg_spec is None:
-        raise AnalysisError(
-            f"recursive rule for {head!r} has no aggregate in its head"
-        )
-    if rule.head.terms[-1] is not agg_spec:
-        raise AnalysisError("the aggregate must be the last head argument")
+    assert agg_spec is not None  # RA105 checked by the structure pass
     aggregate = get_aggregate(agg_spec.op)
 
     iterated, iter_var = _split_iteration(rule)
     head_terms = rule.head.terms[1:] if iterated else rule.head.terms
-    key_vars: list[str] = []
-    for term in head_terms[:-1]:
-        if not isinstance(term, Variable):
-            raise AnalysisError(
-                f"head key positions must be variables, found {term!r}"
-            )
-        key_vars.append(term.name)
+    key_vars = [
+        term.name for term in head_terms[:-1] if isinstance(term, Variable)
+    ]
 
     recursive_bodies = [b for b in rule.bodies if b.mentions(head)]
     constant_bodies = tuple(b for b in rule.bodies if not b.mentions(head))
-    if not recursive_bodies:
-        raise AnalysisError("recursive rule has no recursive body")
     specs = []
     for body in recursive_bodies:
         spec = _decompose_recursive_body(body, head, iterated, iter_var)
@@ -332,7 +331,7 @@ def analyze(program: Program) -> ProgramAnalysis:
     for body in rule.bodies:
         for atom in body.termination_atoms():
             if termination is not None:
-                raise AnalysisError("multiple termination clauses")
+                raise AnalysisError("multiple termination clauses", code="RA111")
             termination = atom
 
     return ProgramAnalysis(

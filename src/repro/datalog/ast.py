@@ -16,6 +16,25 @@ from repro.expr import Expr
 
 
 # --------------------------------------------------------------------------
+# Source spans
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Span:
+    """Source position of a syntactic element, from the lexer tokens.
+
+    Spans are carried on rules and declarations (``compare=False``
+    fields, so structural AST equality ignores them) and give the static
+    analyzer's diagnostics their ``line:column`` anchors.
+    """
+
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"{self.line}:{self.column}"
+
+
+# --------------------------------------------------------------------------
 # Terms (arguments of predicate atoms)
 # --------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -160,6 +179,7 @@ class AssumeDecl:
     variable: str
     op: str  # < <= > >= =
     bound: Fraction
+    span: Optional[Span] = field(default=None, compare=False)
 
     def __repr__(self):
         return f"assume {self.variable} {self.op} {float(self.bound):g}."
@@ -206,6 +226,7 @@ class RuleBody:
 class Rule:
     head: RuleHead
     bodies: tuple[RuleBody, ...]
+    span: Optional[Span] = field(default=None, compare=False)
 
     def is_recursive(self) -> bool:
         return any(body.mentions(self.head.name) for body in self.bodies)

@@ -33,4 +33,14 @@ class AnalysisError(DatalogError):
     (section 2.1, footnote 2): one recursive rule, at most one
     occurrence of the head predicate per body, no mutual recursion.
     Programs outside that class raise this error.
+
+    ``code`` carries the stable ``RAxxx`` diagnostic code of
+    :mod:`repro.analysis` when the failure maps to one (the lint
+    pipeline converts the exception back into that diagnostic), and
+    ``diagnostic`` the full diagnostic object when available.
     """
+
+    def __init__(self, message: str, code=None, diagnostic=None):
+        super().__init__(message)
+        self.code = code
+        self.diagnostic = diagnostic

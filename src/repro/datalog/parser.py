@@ -34,6 +34,7 @@ from repro.datalog.ast import (
     Rule,
     RuleBody,
     RuleHead,
+    Span,
     SymbolConstant,
     TerminationAtom,
     Variable,
@@ -94,13 +95,13 @@ class _Parser:
         return Program(tuple(rules), tuple(assumptions), name=name)
 
     def _parse_assume(self) -> AssumeDecl:
-        self._expect(IDENT, "assume")
+        start = self._expect(IDENT, "assume")
         variable = self._expect(IDENT).value
         op = self._parse_cmp_op()
         sign = -1 if self._match(PUNCT, "-") else 1
         bound = number_value(self._expect(NUMBER)) * sign
         self._expect(PUNCT, ".")
-        return AssumeDecl(variable, op, bound)
+        return AssumeDecl(variable, op, bound, span=Span(start.line, start.column))
 
     def _parse_cmp_op(self) -> str:
         token = self._peek()
@@ -113,6 +114,7 @@ class _Parser:
         )
 
     def _parse_rule(self) -> Rule:
+        start = self._peek()
         head = self._parse_head()
         bodies: list[RuleBody] = []
         if self._match(PUNCT, ":-"):
@@ -121,7 +123,7 @@ class _Parser:
                 self._match(PUNCT, ":-")  # the paper writes ``; :- body``
                 bodies.append(self._parse_body())
         self._expect(PUNCT, ".")
-        return Rule(head, tuple(bodies))
+        return Rule(head, tuple(bodies), span=Span(start.line, start.column))
 
     def _parse_head(self) -> RuleHead:
         name = self._expect(IDENT).value

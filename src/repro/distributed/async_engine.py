@@ -85,6 +85,13 @@ class AsyncEngine:
     ):
         if recovery not in ("auto", "local", "global"):
             raise ValueError(f"unknown recovery mode {recovery!r}")
+        # Theorem-3 gate: asynchronous evaluation only converges to the
+        # synchronous fixpoint for MRA-satisfiable programs, so refuse
+        # uncertified ones up front (with the RA310 diagnostic) instead
+        # of silently computing wrong answers under message reordering.
+        from repro.analysis.asynccert import require_async_certified
+
+        self.async_certificate = require_async_certified(plan.analysis)
         self.obs = ensure_obs(obs)
         self.backend = backend
         self.plan = plan
@@ -797,7 +804,12 @@ class AsyncEngine:
             backend=state.backend,
         )
         if obs.enabled:
+            from repro.analysis.comm import record_comm_metrics
+
             obs.metrics.absorb_work_counters(counters, engine=self.engine_name)
             record_backend_metrics(obs.metrics, self.engine_name, state.backend)
+            record_comm_metrics(
+                obs.metrics, self.plan, self.cluster.num_workers
+            )
             result.metrics = obs.metrics
         return result

@@ -422,8 +422,13 @@ class SyncEngine:
             backend=state.backend,
         )
         if obs.enabled:
+            from repro.analysis.comm import record_comm_metrics
+
             obs.metrics.absorb_work_counters(counters, engine=result.engine)
             record_backend_metrics(obs.metrics, result.engine, state.backend)
+            record_comm_metrics(
+                obs.metrics, self.plan, self.cluster.num_workers
+            )
             result.metrics = obs.metrics
         return result
 

@@ -86,7 +86,21 @@ def compile_plan(
     termination: Optional[TerminationSpec] = None,
     counters: Optional[WorkCounters] = None,
 ) -> CompiledPlan:
-    """Compile an analysed program against a database of EDB facts."""
+    """Compile an analysed program against a database of EDB facts.
+
+    Raises :class:`~repro.datalog.errors.AnalysisError` (carrying the
+    RA201 diagnostic) when a head variable is unbound -- the rule could
+    never be evaluated, so the plan fails fast instead of producing a
+    partial dependency graph.
+    """
+    from repro.analysis.lints import lint_unbound_head_variables
+    from repro.datalog.errors import AnalysisError
+
+    unbound = lint_unbound_head_variables(analysis.program)
+    if unbound:
+        first = unbound[0]
+        raise AnalysisError(first.message, code=first.code, diagnostic=first)
+
     counters = counters if counters is not None else WorkCounters()
     work_db = db.copy()
     evaluate_aux_rules(analysis, work_db, counters=counters)

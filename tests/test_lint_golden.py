@@ -1,0 +1,101 @@
+"""Golden diagnostics: ``repro lint --format json`` output is a contract.
+
+Every registry program and every seeded-bad example under
+``examples/datalog/`` is snapshotted.  Codes, messages, severities and
+theorem verdicts are pinned -- renumbering an ``RAxxx`` code or
+reordering diagnostics is a breaking change and must show up here.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_lint_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.programs.registry import PROGRAMS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples" / "datalog"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.dl"))
+
+# bad examples fail plain lint; the async-ineligible one only fails gated
+EXPECTED_EXIT = {
+    "bad_unstratifiable": 1,
+    "bad_unbound": 1,
+    "bad_async_ineligible": 0,
+}
+
+
+def lint_json(capsys, target):
+    code = main(["lint", target, "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    return code, payload
+
+
+def assert_matches_golden(payload, name):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if REGEN or not golden_path.exists():
+        golden_path.write_text(rendered)
+    assert json.loads(golden_path.read_text()) == json.loads(rendered), (
+        f"lint output for {name!r} drifted from {golden_path}; "
+        "if intentional, rerun with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+class TestRegistryGoldens:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_registry_program(self, capsys, name):
+        code, payload = lint_json(capsys, name)
+        assert code == 0, f"registry program {name} must lint clean"
+        assert_matches_golden(payload, name)
+
+
+class TestExampleGoldens:
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_file(self, capsys, path):
+        code, payload = lint_json(capsys, str(path))
+        assert code == EXPECTED_EXIT.get(path.stem, 0), path.stem
+        assert_matches_golden(payload, path.stem)
+
+    def test_bad_examples_present(self):
+        stems = {p.stem for p in EXAMPLE_FILES}
+        assert set(EXPECTED_EXIT) <= stems
+
+    def test_async_gate_fails_ineligible_example(self, capsys):
+        target = str(EXAMPLES_DIR / "bad_async_ineligible.dl")
+        assert main(["lint", target, "--gate", "async"]) == 1
+        out = capsys.readouterr().out
+        assert "RA310" in out
+
+    def test_async_gate_passes_certified_example(self, capsys):
+        target = str(EXAMPLES_DIR / "reachable_cost.dl")
+        assert main(["lint", target, "--gate", "async"]) == 0
+        capsys.readouterr()
+
+
+class TestStableCodes:
+    """The specific codes the seeded-bad examples were seeded to produce."""
+
+    def expect_codes(self, capsys, stem, codes):
+        _, payload = lint_json(capsys, str(EXAMPLES_DIR / f"{stem}.dl"))
+        produced = {d["code"] for d in payload["diagnostics"]}
+        assert codes <= produced, f"{stem}: {produced}"
+
+    def test_unstratifiable(self, capsys):
+        self.expect_codes(capsys, "bad_unstratifiable", {"RA102", "RA110"})
+
+    def test_unbound(self, capsys):
+        self.expect_codes(capsys, "bad_unbound", {"RA201"})
+
+    def test_async_ineligible(self, capsys):
+        self.expect_codes(capsys, "bad_async_ineligible", {"RA310", "RA302"})

@@ -1,0 +1,78 @@
+"""The determinism self-lint (``tools/lint_invariants.py``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+TOOL = REPO_ROOT / "tools" / "lint_invariants.py"
+
+sys.path.insert(0, str(TOOL.parent))
+from lint_invariants import check_file, main  # noqa: E402
+
+CLEAN = """\
+import random
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+def seeded() -> random.Random:
+    return random.Random(7)
+"""
+
+DIRTY = """\
+import random
+import time
+from datetime import datetime
+
+def stamp():
+    return time.time(), datetime.now()
+
+def roll():
+    return random.random()
+
+def unseeded():
+    return random.Random()
+"""
+
+
+class TestCheckFile:
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN)
+        assert check_file(path) == []
+
+    def test_flags_wall_clock_and_global_random(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        violations = check_file(path)
+        text = "\n".join(violations)
+        assert "time.time" in text
+        assert "datetime.now" in text
+        assert "random.random" in text
+        assert "random.Random()" in text or "Random" in text
+        assert len(check_file(path)) >= 4
+
+    def test_seeded_constructor_allowed(self, tmp_path):
+        path = tmp_path / "seeded.py"
+        path.write_text("import random\nrng = random.Random(x=3)\n")
+        assert check_file(path) == []
+
+
+class TestMain:
+    def test_core_tree_is_clean(self):
+        # the invariant the tool exists to hold: no wall-clock or
+        # unseeded randomness in engine/runtime/distributed
+        assert main([]) == 0
+
+    def test_nonzero_on_violation(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(DIRTY)
+        assert main([str(path)]) == 1
+
+    def test_runs_as_a_script(self):
+        proc = subprocess.run(
+            [sys.executable, str(TOOL)], capture_output=True, text=True, cwd=REPO_ROOT
+        )
+        assert proc.returncode == 0
+        assert "determinism invariants hold" in proc.stdout

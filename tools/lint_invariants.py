@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Self-lint: enforce the repo's determinism invariants by AST walk.
+
+The engines are deterministic discrete-event simulations: every run of a
+program with the same seed must produce the same result, trace and
+metrics, or the fault-injection and cross-backend equivalence suites
+become flaky.  Two classes of call break that:
+
+* **wall clock** -- ``time.time()``, ``time.monotonic()``,
+  ``time.perf_counter()``, ``datetime.now()``/``utcnow()``/``today()``:
+  simulated time must come from the event clock, never the host;
+* **unseeded randomness** -- module-level ``random.random()`` etc.,
+  ``random.Random()`` with no seed, ``numpy.random.default_rng()`` with
+  no seed: all randomness must flow from an explicit seed.
+
+Scope: ``src/repro/engine``, ``src/repro/runtime``,
+``src/repro/distributed`` (the deterministic core).  The CLI, bench
+harness and obs layers may legitimately read the host clock.
+
+Exit code 0 when clean, 1 with one ``file:line: message`` per violation
+otherwise.  Pure stdlib; wired into ``make lint`` and CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SCOPE = (
+    REPO_ROOT / "src" / "repro" / "engine",
+    REPO_ROOT / "src" / "repro" / "runtime",
+    REPO_ROOT / "src" / "repro" / "distributed",
+)
+
+#: (module, attribute) calls that read the host wall clock
+WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "time_ns"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: module-level random functions that use the hidden global state
+GLOBAL_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "gauss",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+}
+
+#: constructors that take their seed as the first positional argument
+SEEDED_CONSTRUCTORS = {
+    ("random", "Random"),
+    ("np.random", "default_rng"),
+    ("numpy.random", "default_rng"),
+    ("random", "default_rng"),  # from numpy import random as random
+}
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target ('np.random.default_rng')."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in call.keywords)
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    violations: list[str] = []
+    try:
+        relative = path.relative_to(REPO_ROOT)
+    except ValueError:
+        relative = path
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if not dotted:
+            continue
+        head, _, tail = dotted.rpartition(".")
+        leaf_module = head.rpartition(".")[2] if head else ""
+
+        if (leaf_module, tail) in WALL_CLOCK:
+            violations.append(
+                f"{relative}:{node.lineno}: wall-clock call {dotted}(): "
+                "use the simulated event clock instead"
+            )
+            continue
+
+        if head in ("random",) and tail in GLOBAL_RANDOM:
+            violations.append(
+                f"{relative}:{node.lineno}: global-state randomness "
+                f"{dotted}(): use a seeded random.Random / Generator"
+            )
+            continue
+
+        for module, constructor in SEEDED_CONSTRUCTORS:
+            if dotted.endswith(f"{module}.{constructor}") or dotted == constructor and head == module:
+                if not _has_seed_argument(node):
+                    violations.append(
+                        f"{relative}:{node.lineno}: unseeded {dotted}(): "
+                        "pass an explicit seed"
+                    )
+                break
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    roots = [Path(arg) for arg in args] or list(DEFAULT_SCOPE)
+    violations: list[str] = []
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            violations.extend(check_file(path))
+            checked += 1
+    if violations:
+        print(f"determinism invariants violated ({len(violations)}):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"determinism invariants hold ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
