@@ -7,7 +7,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint lint-programs typecheck test chaos bench quick-bench smoke-bench examples check clean
+.PHONY: install lint lint-programs typecheck test chaos serve serve-bench bench quick-bench smoke-bench examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -50,6 +50,21 @@ test:
 # fault-injection suite only (also runs as part of `make test`)
 chaos:
 	$(PYTHON) -m pytest -m chaos tests/
+
+# serving-layer demo: the default seeded multi-tenant workload under
+# the default chaos plan (burst shedding, stale serving, breaker trips)
+serve:
+	$(PYTHON) -m repro serve --chaos
+
+# SLO acceptance harness: byte-identical reruns, no lost requests,
+# degraded-answer agreement, breaker visibility; writes the JSON report
+serve-bench:
+	mkdir -p benchmarks/results
+	rm -rf benchmarks/results/serve-ckpt
+	$(PYTHON) -m repro serve --chaos --acceptance \
+		--checkpoint-dir benchmarks/results/serve-ckpt \
+		--out benchmarks/results/serve-slo.json
+	rm -rf benchmarks/results/serve-ckpt
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

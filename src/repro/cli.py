@@ -30,6 +30,13 @@ vertex-runtime kernel (default: ``REPRO_BACKEND``, else ``python``).
 * ``metrics PROGRAM``     -- run with the metrics registry enabled and
   render counters, histograms and per-worker time-series (e.g. the
   unified engine's ``beta(i,j)`` buffer sizes over simulated time);
+  ``--chaos`` injects faults so the ``EvalResult.faults`` counters in
+  the summary are populated;
+* ``serve``               -- play a seeded multi-tenant workload through
+  the serving layer (admission control, deadlines, retries, circuit
+  breakers, stale-but-certified degradation); ``--chaos`` adds the
+  default chaos plan, ``--acceptance`` runs the SLO acceptance harness,
+  ``--format json`` emits the deterministic SLO report;
 * ``programs``            -- list the fourteen Table-1 programs;
 * ``datasets``            -- list the Table-2 dataset stand-ins.
 """
@@ -270,6 +277,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
     except AsyncIneligibleError as exc:
         raise SystemExit(f"error: {exc.diagnostic.render()}")
+    agreed = all(report.agreed for report in reports)
+    if args.format == "json":
+        import json
+
+        document = {
+            "agreed": agreed,
+            "seed": args.seed,
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if agreed else 1
     print(format_matrix(reports))
     if args.verbose:
         for report in reports:
@@ -277,7 +295,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             for key, value in sorted(report.stats.items()):
                 if value:
                     print(f"  {key}: {value}")
-    return 0 if all(report.agreed for report in reports) else 1
+    return 0 if agreed else 1
 
 
 def _observed_graph(args: argparse.Namespace):
@@ -350,6 +368,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     spec = get_program(args.program)
     graph = _observed_graph(args)
     cluster = ClusterConfig(num_workers=args.workers)
+    if args.chaos:
+        from repro.distributed.chaos_harness import schedule_for
+
+        reference = _build_engine(
+            args.engine, spec.plan(graph), cluster, backend=args.backend
+        ).run()
+        schedule = schedule_for(
+            reference.simulated_seconds, cluster.num_workers, seed=args.seed
+        )
+        cluster = cluster.with_faults(schedule)
+        print(f"fault schedule: {schedule.describe()}")
     obs = Observability()
     result = _build_engine(
         args.engine, spec.plan(graph), cluster, obs, backend=args.backend
@@ -396,7 +425,86 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         )
     if not series_found and args.engine == "unified":
         print("(no buffer adaptations recorded)")
+    faults = result.faults.snapshot() if result.faults is not None else {}
+    nonzero = {key: value for key, value in faults.items() if value}
+    if nonzero:
+        print("fault counters (EvalResult.faults):")
+        for key, value in sorted(nonzero.items()):
+            print(f"  {key:24s} {value}")
+    print(
+        f"totals: {len(snapshot['counters'])} counter series, "
+        f"{len(snapshot['histograms'])} histograms, "
+        f"{len(snapshot['gauges'])} gauges, "
+        f"{sum(faults.values())} fault counts"
+    )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        ServeConfig,
+        ServingService,
+        WorkloadSpec,
+        build_report,
+        default_chaos,
+        render_text,
+        report_to_json,
+        run_serve_acceptance,
+    )
+
+    spec = WorkloadSpec(
+        num_requests=args.requests,
+        arrival_rate=args.rate,
+        burst_factor=args.burst_factor,
+    )
+    config = ServeConfig(
+        executors=args.executors,
+        workers=args.workers,
+        freshness_ttl=args.freshness_ttl,
+        backend=args.backend,
+    )
+    chaos = default_chaos() if args.chaos else None
+
+    if args.acceptance:
+        acceptance = run_serve_acceptance(
+            spec=spec,
+            config=config,
+            chaos=chaos,
+            seed=args.seed,
+            checkpoint_root=args.checkpoint_dir,
+        )
+        report = dict(acceptance.report)
+        report["acceptance"] = {
+            "passed": acceptance.passed,
+            "deterministic": acceptance.deterministic,
+            "no_lost_requests": acceptance.no_lost_requests,
+            "answer_agreement": acceptance.all_agreed,
+            "breaker_visible": acceptance.breaker_visible,
+            "engine_runs_checked": len(acceptance.agreements),
+        }
+        exit_code = 0 if acceptance.passed else 1
+    else:
+        service = ServingService(
+            config, chaos=chaos, checkpoint_dir=args.checkpoint_dir
+        )
+        outcome = service.run(spec, seed=args.seed)
+        report = build_report(outcome, spec, config, chaos=chaos)
+        acceptance = None
+        exit_code = 0
+
+    payload = report_to_json(report)
+    if args.format == "json":
+        sys.stdout.write(payload)
+    else:
+        print(render_text({k: v for k, v in report.items() if k != "acceptance"}))
+        if acceptance is not None:
+            print(acceptance.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        if args.format != "json":
+            print(f"[SLO report written to {args.out}]")
+    return exit_code
 
 
 def cmd_programs(_: argparse.Namespace) -> int:
@@ -542,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "-v", "--verbose", action="store_true", help="print per-run fault counters"
     )
+    chaos.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="'json' emits the machine-readable ChaosReport list",
+    )
     _add_backend(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
@@ -576,7 +690,71 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run a program and render its metrics registry"
     )
     _obs_common(metrics, "unified")
+    metrics.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject faults so EvalResult.faults counters are populated",
+    )
     metrics.set_defaults(func=cmd_metrics)
+
+    serve = commands.add_parser(
+        "serve",
+        help="play a multi-tenant workload through the serving layer",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=100, help="workload size (default 100)"
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        help="mean arrival rate in requests per simulated second",
+    )
+    serve.add_argument(
+        "--burst-factor",
+        type=float,
+        default=7.0,
+        help="arrival-rate multiplier during the burst window",
+    )
+    serve.add_argument(
+        "--executors",
+        type=int,
+        default=1,
+        help="concurrent engine-execution slots",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="simulated workers per execution"
+    )
+    serve.add_argument(
+        "--freshness-ttl",
+        type=float,
+        default=1.5,
+        help="cache entries older than this are recomputed (simulated s)",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="serve under the default chaos plan (attempt failures, a "
+        "sync-backend outage, engine-level drops and duplicates)",
+    )
+    serve.add_argument(
+        "--acceptance",
+        action="store_true",
+        help="run the SLO acceptance harness (determinism, no lost "
+        "requests, degraded-answer agreement) and fail on violations",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="persist engine checkpoints here; recomputations resume "
+        "from them instead of recomputing cold",
+    )
+    serve.add_argument(
+        "--format", default="text", choices=["text", "json"], dest="format"
+    )
+    serve.add_argument("--out", help="also write the JSON SLO report here")
+    _add_backend(serve)
+    serve.set_defaults(func=cmd_serve)
 
     programs = commands.add_parser("programs", help="list the Table-1 programs")
     programs.set_defaults(func=cmd_programs)

@@ -47,7 +47,11 @@ from repro.distributed.sync_engine import SyncEngine
 from repro.distributed.async_engine import AsyncEngine
 from repro.distributed.unified import UnifiedEngine
 from repro.distributed.aap import AAPEngine
-from repro.distributed.fault import Checkpointer, CheckpointMismatchError
+from repro.distributed.fault import (
+    Checkpointer,
+    CheckpointCorruptionError,
+    CheckpointMismatchError,
+)
 from repro.distributed.chaos_harness import (
     ChaosReport,
     format_matrix,
@@ -76,6 +80,7 @@ __all__ = [
     "UnifiedEngine",
     "AAPEngine",
     "Checkpointer",
+    "CheckpointCorruptionError",
     "CheckpointMismatchError",
     "ChaosReport",
     "run_chaos",

@@ -55,6 +55,7 @@ from repro.distributed.buffers import (
 )
 from repro.distributed.chaos import injector_for
 from repro.distributed.cluster import ClusterConfig
+from repro.distributed.fault import restore_guarding_corruption
 from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
@@ -157,7 +158,11 @@ class AsyncEngine:
         state = ShardedRun(plan, cluster, backend=self.backend)
         restored = False
         if self.checkpointer is not None:
-            restored = state.restore(self.checkpointer, self.run_name)
+            restored = restore_guarding_corruption(
+                lambda: state.restore(self.checkpointer, self.run_name),
+                what=f"async run {self.run_name}",
+                obs=obs,
+            )
             if obs.enabled:
                 obs.trace.emit(
                     "ckpt.restore", t=0.0, run=self.run_name, restored=restored
@@ -563,8 +568,12 @@ class AsyncEngine:
             down[worker] = False
             restored_shard = False
             if self.checkpointer is not None:
-                restored_shard = state.restore_shard_state(
-                    self.checkpointer, self.run_name, worker
+                restored_shard = restore_guarding_corruption(
+                    lambda: state.restore_shard_state(
+                        self.checkpointer, self.run_name, worker
+                    ),
+                    what=f"async run {self.run_name} shard {worker}",
+                    obs=obs,
                 )
             if obs.enabled:
                 obs.trace.emit(

@@ -22,6 +22,7 @@ deliveries, all deterministically from one seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -73,6 +74,24 @@ class ChaosReport:
         if self.reference_seconds <= 0:
             return 0.0
         return self.chaotic_seconds / self.reference_seconds - 1.0
+
+    def to_dict(self) -> dict:
+        """Machine-readable form for ``repro chaos --format json``."""
+        return {
+            "program": self.program,
+            "engine": self.engine,
+            "schedule": self.schedule,
+            "agreed": self.agreed,
+            # strict JSON has no Infinity; missing keys surface as null
+            "max_error": self.max_error if math.isfinite(self.max_error) else None,
+            "tolerance": self.tolerance,
+            "reference_seconds": self.reference_seconds,
+            "chaotic_seconds": self.chaotic_seconds,
+            "overhead": self.overhead,
+            "stats": dict(sorted(self.stats.items())),
+            "reference_stop": self.reference_stop,
+            "chaotic_stop": self.chaotic_stop,
+        }
 
     def row(self) -> str:
         verdict = "ok" if self.agreed else "MISMATCH"

@@ -18,7 +18,14 @@ Robustness guarantees of the on-disk format:
 * checkpoints carry **run-compatibility metadata** (program name,
   ``num_workers``, shard id, schema version); restoring into an
   incompatible run fails loudly with :class:`CheckpointMismatchError`
-  instead of silently loading wrong keys into wrong shards.
+  instead of silently loading wrong keys into wrong shards;
+* payloads carry a **content checksum** (CRC32 over the canonical
+  encoding); a bit-flipped shard that still parses as JSON raises
+  :class:`CheckpointCorruptionError` instead of restoring silently
+  wrong aggregates.  The error is a :class:`CheckpointMismatchError`
+  subclass, and the engines catch exactly it -- corruption falls back
+  to reseed-and-replay, while a genuine run mismatch (wrong program,
+  wrong worker count) stays loud.
 """
 
 from __future__ import annotations
@@ -26,17 +33,34 @@ from __future__ import annotations
 import json
 import os
 import warnings
+import zlib
 from typing import Optional, Union
 
 from repro.engine.monotable import MonoTable
 from repro.obs import ensure_obs
 
 #: bump when the on-disk payload layout changes incompatibly
-CHECKPOINT_SCHEMA_VERSION = 2
+CHECKPOINT_SCHEMA_VERSION = 3
 
 
 class CheckpointMismatchError(ValueError):
     """A checkpoint exists but belongs to an incompatible run."""
+
+
+class CheckpointCorruptionError(CheckpointMismatchError):
+    """A checkpoint parses but its content fails checksum validation."""
+
+
+def _payload_checksum(payload: dict) -> int:
+    """CRC32 over the canonical encoding of the restorable content."""
+    body = [
+        payload.get("aggregate"),
+        payload.get("shard_id"),
+        payload.get("meta") or {},
+        payload.get("accumulated") or {},
+        payload.get("intermediate") or {},
+    ]
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
 
 
 def _encode_key(key) -> str:
@@ -96,6 +120,7 @@ class Checkpointer:
                 _encode_key(k): v for k, v in table.intermediate.items()
             },
         }
+        payload["checksum"] = _payload_checksum(payload)
         path = self._path(run_name, shard_id)
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -125,7 +150,9 @@ class Checkpointer:
         or unreadable -- the caller reseeds instead.  Raises
         :class:`CheckpointMismatchError` when a *readable* checkpoint
         belongs to a different run (wrong aggregate, wrong shard, or any
-        ``expect_meta`` entry that does not match).
+        ``expect_meta`` entry that does not match), and the narrower
+        :class:`CheckpointCorruptionError` when a schema-3 payload fails
+        its content checksum (e.g. a bit flip on disk).
         """
         path = self._path(run_name, shard_id)
         try:
@@ -142,6 +169,17 @@ class Checkpointer:
                 stacklevel=2,
             )
             return False
+        # schema >= 3 payloads are checksummed; older payloads (or
+        # hand-written fixtures) predate the field and skip validation
+        if payload.get("schema", 0) >= 3 or "checksum" in payload:
+            recorded_sum = payload.get("checksum")
+            actual_sum = _payload_checksum(payload)
+            if recorded_sum != actual_sum:
+                raise CheckpointCorruptionError(
+                    f"checkpoint {path} fails its content checksum "
+                    f"(recorded {recorded_sum!r}, computed {actual_sum}); "
+                    f"the shard is corrupt and must not be restored"
+                )
         if payload["aggregate"] != table.aggregate.name:
             raise CheckpointMismatchError(
                 f"checkpoint aggregate {payload['aggregate']!r} does not match "
@@ -182,3 +220,29 @@ class Checkpointer:
 
     def has_checkpoint(self, run_name: str, shard_id: int) -> bool:
         return os.path.exists(self._path(run_name, shard_id))
+
+
+def restore_guarding_corruption(restore_call, what: str, obs=None) -> bool:
+    """Run a restore callable, degrading *corruption* to "no checkpoint".
+
+    The engines recover through this guard: a checksum-corrupt shard
+    (bit flip, torn media) is recoverable state loss -- recovery falls
+    back to reseed-and-replay and the run still converges -- so it must
+    not crash a serving loop.  Any other
+    :class:`CheckpointMismatchError` (wrong program, wrong worker
+    count, wrong aggregate) means the caller is about to load state
+    from a *different run* and keeps propagating loudly.
+    """
+    obs = ensure_obs(obs)
+    try:
+        return bool(restore_call())
+    except CheckpointCorruptionError as exc:
+        warnings.warn(
+            f"{what}: {exc}; falling back to reseed-and-replay",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if obs.enabled:
+            obs.trace.emit("ckpt.corrupt", what=what, error=str(exc))
+            obs.metrics.inc("ckpt.corrupt_restores")
+        return False

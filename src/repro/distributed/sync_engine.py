@@ -37,6 +37,7 @@ from typing import Optional
 
 from repro.distributed.chaos import injector_for
 from repro.distributed.cluster import ClusterConfig
+from repro.distributed.fault import restore_guarding_corruption
 from repro.distributed.sharding import ShardedRun
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult
@@ -102,7 +103,11 @@ class SyncEngine:
         state = ShardedRun(plan, cluster, backend=self.backend)
         restored = False
         if self.checkpointer is not None:
-            restored = state.restore(self.checkpointer, self.run_name)
+            restored = restore_guarding_corruption(
+                lambda: state.restore(self.checkpointer, self.run_name),
+                what=f"sync run {self.run_name}",
+                obs=obs,
+            )
             if obs.enabled:
                 obs.trace.emit(
                     "ckpt.restore", t=0.0, run=self.run_name, restored=restored
@@ -449,8 +454,12 @@ class SyncEngine:
         chaos.record("recoveries", t=now, worker=worker)
         restored = False
         if self.checkpointer is not None:
-            restored = state.restore_shard_state(
-                self.checkpointer, self.run_name, worker
+            restored = restore_guarding_corruption(
+                lambda: state.restore_shard_state(
+                    self.checkpointer, self.run_name, worker
+                ),
+                what=f"sync run {self.run_name} shard {worker}",
+                obs=self.obs,
             )
             if self.obs.enabled:
                 self.obs.trace.emit(

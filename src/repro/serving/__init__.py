@@ -1,0 +1,81 @@
+"""Multi-tenant serving layer: admission control, deadlines, retries,
+circuit breaking and graceful degradation in front of the engines, all
+on one deterministic simulated clock."""
+
+from repro.serving.acceptance import (
+    AgreementCheck,
+    ServeAcceptance,
+    run_serve_acceptance,
+)
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.cache import CacheEntry, ResultCache, cache_key
+from repro.serving.request import (
+    FAILED,
+    OK,
+    OK_STALE,
+    Request,
+    Response,
+    SERVED_STATUSES,
+    SHED,
+    TERMINAL_STATUSES,
+    TIMEOUT,
+    TenantSpec,
+)
+from repro.serving.service import (
+    Outage,
+    ServeChaos,
+    ServeConfig,
+    ServeOutcome,
+    ServingService,
+    default_chaos,
+)
+from repro.serving.slo import (
+    SLO_REPORT_SCHEMA,
+    build_report,
+    percentile,
+    render_text,
+    report_to_json,
+)
+from repro.serving.workload import (
+    DEFAULT_ENGINE_MIX,
+    DEFAULT_PROGRAM_MIX,
+    DEFAULT_TENANTS,
+    WorkloadSpec,
+    generate_workload,
+)
+
+__all__ = [
+    "AgreementCheck",
+    "CacheEntry",
+    "CircuitBreaker",
+    "DEFAULT_ENGINE_MIX",
+    "DEFAULT_PROGRAM_MIX",
+    "DEFAULT_TENANTS",
+    "FAILED",
+    "OK",
+    "OK_STALE",
+    "Outage",
+    "Request",
+    "Response",
+    "ResultCache",
+    "SERVED_STATUSES",
+    "SHED",
+    "SLO_REPORT_SCHEMA",
+    "ServeAcceptance",
+    "ServeChaos",
+    "ServeConfig",
+    "ServeOutcome",
+    "ServingService",
+    "TERMINAL_STATUSES",
+    "TIMEOUT",
+    "TenantSpec",
+    "WorkloadSpec",
+    "build_report",
+    "cache_key",
+    "default_chaos",
+    "generate_workload",
+    "percentile",
+    "render_text",
+    "report_to_json",
+    "run_serve_acceptance",
+]

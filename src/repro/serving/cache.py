@@ -1,0 +1,83 @@
+"""Result cache keyed on ``(program, graph version, params)``.
+
+The cache is the serving-side face of incrementality: repeated queries
+for the same inputs are answered from the stored fixpoint instead of
+re-evaluating, and under degradation (open breaker, unmeetable
+deadline, exhausted retries) an *older* entry can still be served --
+stale but certified -- with its staleness surfaced on the response.
+
+Only **certified** results are cached: runs that stopped at a genuine
+``fixpoint`` or ``epsilon`` convergence.  An ``iteration-limit`` stop is
+not a fixpoint and must never be replayed to other tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def cache_key(program: str, graph_version: int, params: tuple) -> tuple:
+    return (program, graph_version, params)
+
+
+@dataclass
+class CacheEntry:
+    """One certified fixpoint, stamped with when and what produced it."""
+
+    key: tuple
+    values: dict
+    #: simulated time the producing run completed
+    computed_at: float
+    graph_version: int
+    #: stop reason of the producing run ("fixpoint" | "epsilon")
+    stop_reason: str
+    #: engine backend that produced the values
+    engine: str
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.computed_at)
+
+
+class ResultCache:
+    """Versioned fixpoint store with fresh and stale lookup paths."""
+
+    def __init__(self, freshness_ttl: float):
+        #: entries younger than this (and on the current graph version)
+        #: are served as fresh ``OK`` answers
+        self.freshness_ttl = freshness_ttl
+        self._entries: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, entry: CacheEntry) -> None:
+        self._entries[entry.key] = entry
+
+    def get(self, program: str, graph_version: int, params: tuple):
+        return self._entries.get(cache_key(program, graph_version, params))
+
+    def fresh(
+        self, program: str, graph_version: int, params: tuple, now: float
+    ) -> Optional[CacheEntry]:
+        """A current-version entry young enough to serve as ``OK``."""
+        entry = self.get(program, graph_version, params)
+        if entry is not None and entry.age(now) <= self.freshness_ttl:
+            return entry
+        return None
+
+    def fallback(
+        self, program: str, graph_version: int, params: tuple
+    ) -> Optional[CacheEntry]:
+        """The best stale-but-certified entry for degraded serving.
+
+        Prefers the current graph version (stale only by age), then
+        falls back through older versions, newest first.  Returns
+        ``None`` when the query was never answered before -- degradation
+        then has nothing to serve and the request times out or fails.
+        """
+        for version in range(graph_version, 0, -1):
+            entry = self.get(program, version, params)
+            if entry is not None:
+                return entry
+        return None

@@ -1,0 +1,765 @@
+"""The multi-tenant serving loop: a deterministic discrete-event service.
+
+``ServingService`` sits in front of the distributed engines and plays a
+generated request stream against them on one simulated clock:
+
+* **admission control** -- per-tenant bounded queues; the request that
+  would overflow its tenant's queue is resolved ``SHED`` immediately
+  (an explicit terminal state, never a silent drop);
+* **request lifecycle** -- every admitted request carries an absolute
+  deadline; failed attempts retry with exponential backoff plus seeded
+  jitter until the deadline or the attempt budget runs out;
+* **circuit breaking** -- one :class:`~repro.serving.breaker.CircuitBreaker`
+  per engine backend trips on consecutive failures and half-opens on the
+  simulated clock; while open, requests are served stale from the
+  result cache or parked until the breaker's probe window;
+* **graceful degradation** -- a :class:`~repro.serving.cache.ResultCache`
+  keyed on ``(program, graph version, params)`` answers repeated queries
+  fresh and, under degradation, serves stale-but-certified fixpoints
+  with the staleness surfaced on the response;
+* **incremental recomputation** -- completed runs checkpoint their
+  MonoTable shards through the existing
+  :class:`~repro.distributed.fault.Checkpointer`; recomputations and
+  post-crash retries restore from the latest checkpoint and converge in
+  a fraction of the original run (a corrupted checkpoint falls back to
+  reseed-and-replay instead of crashing the loop).
+
+Determinism contract: the service consumes one seeded RNG in event
+order, every engine execution is itself deterministic, and the clock is
+simulated -- so a full serving run (and its JSON SLO report) is a pure
+function of ``(workload spec, config, chaos plan, seed)``.
+
+Simulator shortcut: engine executions are memoised per
+``(program, graph version, params, engine)``.  The first execution of a
+key really runs the engine (and its chaos schedule); repeats replay the
+measured duration and values, which is exact because the engines are
+deterministic given identical inputs.  Checkpoint-restored
+("resumed") executions are measured separately, so recomputation cost
+reflects genuine checkpoint recovery, not a model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.distributed.aap import AAPEngine
+from repro.distributed.async_engine import AsyncEngine
+from repro.distributed.chaos import FaultSchedule
+from repro.distributed.chaos_harness import default_graph
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.fault import Checkpointer
+from repro.distributed.sync_engine import SyncEngine
+from repro.distributed.unified import UnifiedEngine
+from repro.obs import ensure_obs
+from repro.programs import get_program
+from repro.runtime.compat import np
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.cache import CacheEntry, ResultCache, cache_key
+from repro.serving.request import (
+    FAILED,
+    OK,
+    OK_STALE,
+    Request,
+    Response,
+    SHED,
+    TIMEOUT,
+)
+from repro.serving.workload import WorkloadSpec, generate_workload
+
+#: engine backends the service can route to
+SERVING_ENGINES = ("sync", "async", "unified", "aap")
+
+_ENGINE_FACTORIES = {
+    "sync": SyncEngine,
+    "async": AsyncEngine,
+    "unified": UnifiedEngine,
+    "aap": AAPEngine,
+}
+
+#: certified stop reasons -- only these results enter the cache
+_CERTIFIED_STOPS = ("fixpoint", "epsilon")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A window during which every attempt on ``engine`` fails."""
+
+    engine: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ServeChaos:
+    """What goes wrong at the serving layer (all seeded, all simulated).
+
+    ``engine_faults`` are :class:`FaultSchedule` kwargs applied to the
+    cluster of every real engine execution -- the chaos matrix's drops,
+    duplicates and crashes now happening *under* live traffic.
+    ``outages`` and ``attempt_failure_rate`` fail serving attempts
+    themselves, which is what drives retries and the circuit breaker.
+    """
+
+    #: i.i.d. probability that an execution attempt crashes
+    attempt_failure_rate: float = 0.0
+    #: crashed attempts observe this fraction range of the run's duration
+    failure_fraction: tuple = (0.2, 0.8)
+    outages: tuple = ()
+    #: FaultSchedule kwargs for engine-internal fault injection
+    engine_faults: Optional[dict] = None
+
+    def outage_covers(self, engine: str, now: float) -> bool:
+        return any(
+            o.engine == engine and o.start <= now < o.end for o in self.outages
+        )
+
+
+def default_chaos() -> ServeChaos:
+    """The default chaos plan the ``--chaos`` flag and CI smoke use."""
+    return ServeChaos(
+        attempt_failure_rate=0.08,
+        outages=(Outage("sync", 2.0, 3.5),),
+        engine_faults={"drop_rate": 0.02, "duplicate_rate": 0.01},
+    )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-side knobs (the workload side lives in WorkloadSpec)."""
+
+    #: concurrent execution slots shared by all tenants; the default is
+    #: deliberately scarce so the default burst saturates it and
+    #: admission control visibly sheds
+    executors: int = 1
+    #: simulated workers per engine execution
+    workers: int = 4
+    #: cache entries older than this are recomputed on the happy path
+    freshness_ttl: float = 1.5
+    #: simulated cost of answering from the cache
+    cache_cost: float = 2e-3
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    #: uniform(0, jitter) fraction added to every backoff wait
+    backoff_jitter: float = 0.5
+    breaker_threshold: int = 3
+    breaker_reset: float = 0.75
+    #: sync-engine checkpoint cadence (supersteps) when checkpointing
+    checkpoint_every: int = 4
+    #: seed of the per-version default graphs
+    graph_seed: int = 7
+    backend: Optional[str] = None
+
+
+@dataclass
+class ExecutionProfile:
+    """One measured engine run, replayed for repeat executions."""
+
+    key: tuple  # (program, graph_version, params, engine)
+    values: dict
+    duration: float
+    stop_reason: str
+    #: True when the run restored from a checkpoint (recomputation path)
+    resumed: bool
+    #: FaultStats snapshot of the run (engine-internal chaos), or {}
+    faults: dict = field(default_factory=dict)
+    uses: int = 0
+
+
+@dataclass
+class ServeOutcome:
+    """Everything one serving run produced."""
+
+    responses: list
+    requests: list
+    counters: dict
+    breakers: dict
+    #: every measured engine run, keyed like the execution memo
+    profiles: dict
+    makespan: float
+    seed: int
+    final_graph_version: int
+
+
+def serving_graph(program: str, version: int, graph_seed: int = 7):
+    """The graph a program runs on at a given version.
+
+    Version bumps model mutation ingests: each version is a freshly
+    generated graph, so cached fixpoints for older versions genuinely
+    disagree with the current data and can only be served as stale.
+    """
+    return default_graph(program, seed=graph_seed + 13 * (version - 1))
+
+
+def execution_seed(base_seed: int, key: tuple) -> int:
+    """Stable per-execution seed for the engine-internal fault schedule."""
+    text = ":".join(str(part) for part in key)
+    return base_seed * 100003 + (zlib.crc32(text.encode("utf-8")) & 0xFFFF)
+
+
+class ServingService:
+    """Deterministic simulated-clock serving in front of the engines."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        chaos: Optional[ServeChaos] = None,
+        obs=None,
+        checkpoint_dir: Optional[str] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.chaos = chaos
+        self.obs = ensure_obs(obs)
+        self.checkpointer = (
+            Checkpointer(checkpoint_dir, obs=obs) if checkpoint_dir else None
+        )
+        self._plans: dict = {}
+        self.profiles: dict = {}
+        self._resume_profiles: dict = {}
+
+    # -- engine execution (memoised) ----------------------------------------
+    def _plan(self, program: str, version: int):
+        key = (program, version)
+        if key not in self._plans:
+            spec = get_program(program)
+            graph = serving_graph(program, version, self.config.graph_seed)
+            self._plans[key] = spec.plan(graph)
+        return self._plans[key]
+
+    def _termination(self, plan, params: tuple):
+        scale = dict(params).get("eps_scale")
+        spec = plan.termination
+        if scale is None or spec.epsilon is None:
+            return spec
+        return replace(spec, epsilon=spec.epsilon * float(scale))
+
+    def _cluster(self, key: tuple, seed: int) -> ClusterConfig:
+        cluster = ClusterConfig(num_workers=self.config.workers)
+        if self.chaos is not None and self.chaos.engine_faults:
+            schedule = FaultSchedule(
+                **self.chaos.engine_faults, seed=execution_seed(seed, key)
+            )
+            cluster = cluster.with_faults(schedule)
+        return cluster
+
+    def _run_name(self, key: tuple) -> str:
+        program, version, params, engine = key
+        param_text = "-".join(f"{k}{v}" for k, v in params) or "none"
+        return f"srv-{program}-v{version}-{param_text}-{engine}"
+
+    def _has_checkpoints(self, key: tuple) -> bool:
+        if self.checkpointer is None:
+            return False
+        run_name = self._run_name(key)
+        return all(
+            self.checkpointer.has_checkpoint(run_name, shard)
+            for shard in range(self.config.workers)
+        )
+
+    def _run_engine(self, key: tuple, seed: int, with_checkpointer: bool):
+        program, version, params, engine = key
+        plan = self._plan(program, version)
+        kwargs = dict(
+            termination=self._termination(plan, params),
+            run_name=self._run_name(key),
+            backend=self.config.backend,
+        )
+        if with_checkpointer and self.checkpointer is not None:
+            kwargs["checkpointer"] = self.checkpointer
+            if engine == "sync":
+                kwargs["checkpoint_every"] = self.config.checkpoint_every
+        factory = _ENGINE_FACTORIES[engine]
+        return factory(plan, self._cluster(key, seed), **kwargs).run()
+
+    def _execute(self, key: tuple, seed: int) -> ExecutionProfile:
+        """Measured execution: real engine runs, memoised per key.
+
+        Once a completed run has checkpointed, later executions restore
+        from the checkpoint -- the measured resume run is the cost of
+        recomputing a query the service has answered before.
+        """
+        if self._has_checkpoints(key):
+            profile = self._resume_profiles.get(key)
+            if profile is None:
+                result = self._run_engine(key, seed, with_checkpointer=True)
+                profile = ExecutionProfile(
+                    key=key,
+                    values=result.values,
+                    duration=result.simulated_seconds or 0.0,
+                    stop_reason=result.stop_reason,
+                    resumed=True,
+                    faults=result.faults.snapshot() if result.faults else {},
+                )
+                self._resume_profiles[key] = profile
+                self.profiles[key + ("resume",)] = profile
+            profile.uses += 1
+            return profile
+        profile = self.profiles.get(key + ("full",))
+        if profile is None:
+            result = self._run_engine(key, seed, with_checkpointer=True)
+            profile = ExecutionProfile(
+                key=key,
+                values=result.values,
+                duration=result.simulated_seconds or 0.0,
+                stop_reason=result.stop_reason,
+                resumed=False,
+                faults=result.faults.snapshot() if result.faults else {},
+            )
+            self.profiles[key + ("full",)] = profile
+        profile.uses += 1
+        return profile
+
+    # -- the serving loop ----------------------------------------------------
+    def run(self, spec: Optional[WorkloadSpec] = None, seed: int = 7) -> ServeOutcome:
+        spec = spec or WorkloadSpec()
+        requests = generate_workload(spec, seed=seed)
+        return self.serve(requests, spec, seed=seed)
+
+    def serve(
+        self, requests: list, spec: WorkloadSpec, seed: int = 7
+    ) -> ServeOutcome:
+        run = _ServingRun(self, requests, spec, seed)
+        return run.execute()
+
+
+class _ServingRun:
+    """One serving run's mutable state (service objects stay reusable)."""
+
+    def __init__(self, service: ServingService, requests, spec, seed):
+        self.service = service
+        self.config = service.config
+        self.chaos = service.chaos
+        self.obs = service.obs
+        self.requests = requests
+        self.spec = spec
+        self.seed = seed
+        self.rng = np.random.default_rng(seed * 7919 + 1)
+        self.cache = ResultCache(self.config.freshness_ttl)
+        self.now = 0.0
+        self.graph_version = 1
+        self.busy = 0
+        self._events: list = []
+        self._event_seq = 0
+        self._runnable: list = []
+        self._runnable_seq = 0
+        self._parked: dict = {}  # engine -> [request, ...]
+        self._states: dict = {}  # request id -> lifecycle state
+        self.responses: dict = {}
+        self.queue_depth: dict = {}  # tenant -> waiting-for-first-dispatch
+        self.counters: dict = {
+            "arrivals": 0,
+            "admitted": 0,
+            "shed": 0,
+            "dispatches": 0,
+            "attempts": 0,
+            "attempt_failures": 0,
+            "retries": 0,
+            "cache_fresh_hits": 0,
+            "stale_served": 0,
+            "deadline_resolutions": 0,
+            "executions_full": 0,
+            "executions_resumed": 0,
+            "version_bumps": 0,
+        }
+        self.breakers = {
+            engine: CircuitBreaker(
+                engine,
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout=self.config.breaker_reset,
+                on_transition=self._on_breaker_transition,
+            )
+            for engine in SERVING_ENGINES
+        }
+
+    # -- plumbing ------------------------------------------------------------
+    def _schedule(self, at: float, kind: str, payload=None) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (at, self._event_seq, kind, payload))
+
+    def _make_runnable(self, request: Request) -> None:
+        self._runnable_seq += 1
+        heapq.heappush(
+            self._runnable, (request.arrival, self._runnable_seq, request)
+        )
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.obs.enabled:
+            self.obs.trace.emit(kind, t=self.now, **fields)
+
+    def _inc(self, name: str, **labels) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.inc(f"serve.{name}", **labels)
+
+    def _on_breaker_transition(self, now, engine, old, new) -> None:
+        if self.obs.enabled:
+            self.obs.trace.emit(
+                "serve.breaker", t=now, engine=engine, from_state=old, to=new
+            )
+            self.obs.metrics.inc("serve.breaker_transitions", engine=engine, to=new)
+        if new == "open":
+            breaker = self.breakers[engine]
+            self._schedule(breaker.opened_at + breaker.reset_timeout, "wake", engine)
+        else:
+            # half-open or closed: parked requests may proceed
+            self._release_parked(engine)
+
+    def _release_parked(self, engine: str) -> None:
+        for request in self._parked.pop(engine, []):
+            if self._states.get(request.id) == "parked":
+                self._states[request.id] = "queued"
+                self._make_runnable(request)
+
+    # -- terminal resolution ---------------------------------------------------
+    def _resolve(self, request: Request, status: str, **kwargs) -> None:
+        if request.id in self.responses:
+            raise RuntimeError(
+                f"request {request.id} resolved twice ({status} after "
+                f"{self.responses[request.id].status})"
+            )
+        response = Response(
+            request_id=request.id,
+            tenant=request.tenant,
+            program=request.program,
+            engine=request.engine,
+            status=status,
+            latency=max(0.0, self.now - request.arrival),
+            resolved_at=self.now,
+            attempts=request.attempts,
+            **kwargs,
+        )
+        self.responses[request.id] = response
+        self._states[request.id] = "resolved"
+        self._trace(
+            "serve.complete",
+            request=request.id,
+            tenant=request.tenant,
+            status=status,
+            latency=response.latency,
+        )
+        self._inc("completions", status=status, tenant=request.tenant)
+        if self.obs.enabled and response.served:
+            self.obs.metrics.observe(
+                "serve.latency", response.latency, tenant=request.tenant
+            )
+
+    def _serve_stale(self, request: Request, entry: CacheEntry, detail: str) -> None:
+        self.counters["stale_served"] += 1
+        self._inc("cache_hits", kind="stale", tenant=request.tenant)
+        self._resolve(
+            request,
+            OK_STALE,
+            served_from="stale-cache",
+            stale=True,
+            stale_age=entry.age(self.now),
+            graph_version=entry.graph_version,
+            detail=detail,
+            result_key=entry.key,
+            values=entry.values,
+        )
+
+    def _degrade(self, request: Request, detail: str) -> None:
+        """Deadline or failure path: stale answer if possible, else fail."""
+        entry = self.cache.fallback(
+            request.program, self.graph_version, request.params
+        )
+        if entry is not None:
+            self._serve_stale(request, entry, detail)
+            return
+        if detail == "retries-exhausted":
+            self._resolve(request, FAILED, detail=detail)
+        else:
+            self._resolve(request, TIMEOUT, detail=detail)
+
+    # -- event handlers --------------------------------------------------------
+    def _handle_arrival(self, request: Request) -> None:
+        self.counters["arrivals"] += 1
+        tenant = self.spec.tenant(request.tenant)
+        depth = self.queue_depth.get(request.tenant, 0)
+        self._trace("serve.arrive", request=request.id, tenant=request.tenant)
+        if depth >= tenant.queue_capacity:
+            self.counters["shed"] += 1
+            self._inc("shed", tenant=request.tenant)
+            self._trace(
+                "serve.shed", request=request.id, tenant=request.tenant, depth=depth
+            )
+            self._resolve(request, SHED, detail="queue-full")
+            return
+        request.admitted = True
+        self.counters["admitted"] += 1
+        self._inc("admitted", tenant=request.tenant)
+        self.queue_depth[request.tenant] = depth + 1
+        if self.obs.enabled:
+            self.obs.metrics.gauge(
+                "serve.queue_depth", depth + 1, t=self.now, tenant=request.tenant
+            )
+        self._states[request.id] = "queued"
+        self._make_runnable(request)
+        # the deadline backstop: a queued/parked/retrying request is
+        # resolved *at* its deadline, never silently after it
+        self._schedule(request.deadline, "deadline", request)
+
+    def _handle_deadline(self, request: Request) -> None:
+        if self._states.get(request.id) in ("resolved", "executing"):
+            # executing requests are allowed to finish; a late completion
+            # resolves TIMEOUT on its own
+            return
+        self.counters["deadline_resolutions"] += 1
+        self._degrade(request, "deadline")
+
+    def _attempt_fails(self, engine: str) -> bool:
+        if self.chaos is None:
+            return False
+        if self.chaos.outage_covers(engine, self.now):
+            return True
+        rate = self.chaos.attempt_failure_rate
+        return rate > 0 and float(self.rng.random()) < rate
+
+    def _dispatch(self, request: Request) -> bool:
+        """Try to move one queued request forward.  True if an executor
+        slot was consumed."""
+        state = self._states.get(request.id)
+        if state != "queued":
+            return False
+        if request.id not in self.responses and not request.admitted:
+            raise RuntimeError("dispatching an unadmitted request")
+        self._first_dispatch_accounting(request)
+        if self.now >= request.deadline:
+            self._degrade(request, "deadline")
+            return False
+        # fresh cache hit: answer immediately, no executor needed
+        entry = self.cache.fresh(
+            request.program, self.graph_version, request.params, self.now
+        )
+        if entry is not None:
+            self.counters["cache_fresh_hits"] += 1
+            self._inc("cache_hits", kind="fresh", tenant=request.tenant)
+            self.now += self.config.cache_cost
+            self._resolve(
+                request,
+                OK,
+                served_from="cache",
+                graph_version=entry.graph_version,
+                detail="cache",
+                result_key=entry.key,
+                values=entry.values,
+            )
+            return False
+        breaker = self.breakers[request.engine]
+        if not breaker.allows(self.now):
+            stale = self.cache.fallback(
+                request.program, self.graph_version, request.params
+            )
+            if stale is not None:
+                self._serve_stale(request, stale, "breaker-open")
+            else:
+                self._states[request.id] = "parked"
+                self._parked.setdefault(request.engine, []).append(request)
+                self._trace(
+                    "serve.park", request=request.id, engine=request.engine
+                )
+            return False
+        # deadline-aware skip: when the cost of computing is already
+        # known and provably blows the deadline, degrade right away
+        profile = self._known_profile(request)
+        if (
+            profile is not None
+            and self.now + profile.duration > request.deadline
+        ):
+            stale = self.cache.fallback(
+                request.program, self.graph_version, request.params
+            )
+            if stale is not None:
+                self._serve_stale(request, stale, "deadline-skip")
+                return False
+        return self._start_attempt(request, breaker)
+
+    def _first_dispatch_accounting(self, request: Request) -> None:
+        if getattr(request, "_dispatched", False):
+            return
+        request._dispatched = True
+        self.counters["dispatches"] += 1
+        depth = self.queue_depth.get(request.tenant, 1)
+        self.queue_depth[request.tenant] = depth - 1
+        if self.obs.enabled:
+            self.obs.metrics.gauge(
+                "serve.queue_depth", depth - 1, t=self.now, tenant=request.tenant
+            )
+
+    def _known_profile(self, request: Request):
+        key = (
+            request.program,
+            self.graph_version,
+            request.params,
+            request.engine,
+        )
+        if self.service._has_checkpoints(key):
+            return self.service._resume_profiles.get(key)
+        return self.service.profiles.get(key + ("full",))
+
+    def _start_attempt(self, request: Request, breaker: CircuitBreaker) -> bool:
+        request.attempts += 1
+        self.counters["attempts"] += 1
+        self._inc("attempts", engine=request.engine)
+        breaker.on_attempt_start(self.now)
+        profile = self.service._execute(
+            (request.program, self.graph_version, request.params, request.engine),
+            self.seed,
+        )
+        if profile.resumed:
+            self.counters["executions_resumed"] += 1
+        else:
+            self.counters["executions_full"] += 1
+        failed = self._attempt_fails(request.engine)
+        if failed:
+            lo, hi = self.chaos.failure_fraction
+            fraction = lo + (hi - lo) * float(self.rng.random())
+            duration = fraction * profile.duration
+        else:
+            duration = profile.duration
+        self._states[request.id] = "executing"
+        self.busy += 1
+        self._trace(
+            "serve.dispatch",
+            request=request.id,
+            engine=request.engine,
+            attempt=request.attempts,
+            will_fail=failed,
+            duration=duration,
+        )
+        self._schedule(
+            self.now + duration, "complete", (request, profile, failed)
+        )
+        return True
+
+    def _handle_complete(self, request: Request, profile, failed: bool) -> None:
+        self.busy -= 1
+        breaker = self.breakers[request.engine]
+        if failed:
+            self.counters["attempt_failures"] += 1
+            self._inc("attempt_failures", engine=request.engine)
+            self._trace(
+                "serve.fail",
+                request=request.id,
+                engine=request.engine,
+                attempt=request.attempts,
+            )
+            breaker.on_failure(self.now)
+            self._after_failure(request)
+            return
+        breaker.on_success(self.now)
+        entry = None
+        if profile.stop_reason in _CERTIFIED_STOPS:
+            entry = CacheEntry(
+                key=cache_key(request.program, self.graph_version, request.params),
+                values=profile.values,
+                computed_at=self.now,
+                graph_version=self.graph_version,
+                stop_reason=profile.stop_reason,
+                engine=request.engine,
+            )
+            self.cache.put(entry)
+        if self.now > request.deadline:
+            # the work finished and warmed the cache, but the tenant's
+            # deadline is blown: this request is a TIMEOUT
+            self._resolve(request, TIMEOUT, detail="completed-after-deadline")
+            return
+        self._resolve(
+            request,
+            OK,
+            served_from="compute",
+            graph_version=self.graph_version,
+            detail="resumed" if profile.resumed else "computed",
+            result_key=entry.key if entry is not None else None,
+            values=profile.values,
+        )
+
+    def _after_failure(self, request: Request) -> None:
+        if request.attempts >= self.config.max_attempts:
+            self._degrade(request, "retries-exhausted")
+            return
+        backoff = (
+            self.config.backoff_base
+            * self.config.backoff_factor ** (request.attempts - 1)
+        )
+        backoff *= 1.0 + self.config.backoff_jitter * float(self.rng.random())
+        retry_at = self.now + backoff
+        if retry_at >= request.deadline:
+            self._degrade(request, "deadline")
+            return
+        self.counters["retries"] += 1
+        self._inc("retries", engine=request.engine)
+        self._trace(
+            "serve.retry",
+            request=request.id,
+            attempt=request.attempts,
+            backoff=backoff,
+        )
+        self._states[request.id] = "waiting-retry"
+        self._schedule(retry_at, "ready", request)
+
+    def _handle_ready(self, request: Request) -> None:
+        if self._states.get(request.id) in ("resolved", "executing"):
+            return
+        self._states[request.id] = "queued"
+        self._make_runnable(request)
+
+    def _handle_bump(self) -> None:
+        self.graph_version += 1
+        self.counters["version_bumps"] += 1
+        self._trace("serve.version_bump", version=self.graph_version)
+
+    def _pump(self) -> None:
+        while self.busy < self.config.executors and self._runnable:
+            _, _, request = heapq.heappop(self._runnable)
+            if self._states.get(request.id) != "queued":
+                continue
+            self._dispatch(request)
+
+    # -- the loop --------------------------------------------------------------
+    def execute(self) -> ServeOutcome:
+        for request in self.requests:
+            self._schedule(request.arrival, "arrive", request)
+        for bump_at in self.spec.version_bumps:
+            self._schedule(bump_at, "bump", None)
+        while self._events:
+            at, _, kind, payload = heapq.heappop(self._events)
+            self.now = max(self.now, at)
+            if kind == "arrive":
+                self._handle_arrival(payload)
+            elif kind == "deadline":
+                self._handle_deadline(payload)
+            elif kind == "complete":
+                self._handle_complete(*payload)
+            elif kind == "ready":
+                self._handle_ready(payload)
+            elif kind == "wake":
+                self.breakers[payload].poll(self.now)
+                self._release_parked(payload)
+            elif kind == "bump":
+                self._handle_bump()
+            self._pump()
+        lost = [r.id for r in self.requests if r.id not in self.responses]
+        if lost or self.busy:
+            raise RuntimeError(
+                f"serving loop lost requests: unresolved={lost}, busy={self.busy}"
+            )
+        responses = [self.responses[r.id] for r in self.requests]
+        # the loop also drains deadline backstops of long-resolved
+        # requests; the run's makespan is the last real resolution
+        makespan = max((r.resolved_at for r in responses), default=0.0)
+        return ServeOutcome(
+            responses=responses,
+            requests=self.requests,
+            counters=dict(self.counters),
+            breakers={
+                name: breaker.snapshot()
+                for name, breaker in sorted(self.breakers.items())
+            },
+            profiles=dict(self.service.profiles),
+            makespan=makespan,
+            seed=self.seed,
+            final_graph_version=self.graph_version,
+        )

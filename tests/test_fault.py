@@ -156,3 +156,149 @@ class TestRecoveryReachesFixpoint:
                     for dst, params, fn in plan.edges_from(key):
                         recovered.push(dst, fn(tmp, *params))
         assert recovered.result() == expected
+
+
+def _flip_accumulated_value(path):
+    """Corrupt one aggregate in place without touching the checksum."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    key = next(iter(payload["accumulated"]))
+    payload["accumulated"][key] = (payload["accumulated"][key] or 0) + 1000.0
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+class TestChecksumCorruption:
+    """Schema-3 payloads are checksummed; bit flips fail loudly but
+    recoverably (CheckpointCorruptionError is a CheckpointMismatchError,
+    and the engines degrade it to reseed-and-replay)."""
+
+    def test_bit_flip_raises_corruption_error(self, tmp_path):
+        from repro.distributed import CheckpointCorruptionError
+
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 10.5}))
+        _flip_accumulated_value(path)
+        with pytest.raises(CheckpointCorruptionError, match="checksum"):
+            checkpointer.restore_shard("run", 0, MonoTable(SUM, initial={}))
+
+    def test_corruption_error_is_a_mismatch_error(self):
+        from repro.distributed import CheckpointCorruptionError
+
+        assert issubclass(CheckpointCorruptionError, CheckpointMismatchError)
+
+    def test_truncated_shard_degrades_to_missing(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1.0}))
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.truncate(20)  # torn write survives as invalid JSON
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert not checkpointer.restore_shard("run", 0, MonoTable(SUM, initial={}))
+
+    def test_legacy_payload_without_checksum_still_restores(self, tmp_path):
+        import json
+
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer._path("run", 0)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "schema": 2,
+                    "aggregate": "sum",
+                    "shard_id": 0,
+                    "meta": {},
+                    "accumulated": {"1": 4.0},
+                    "intermediate": {},
+                },
+                handle,
+            )
+        restored = MonoTable(SUM, initial={})
+        assert checkpointer.restore_shard("run", 0, restored)
+        assert restored.accumulated == {1: 4.0}
+
+    def test_restore_guard_distinguishes_corruption_from_mismatch(self, tmp_path):
+        from repro.distributed.fault import restore_guarding_corruption
+
+        checkpointer = Checkpointer(tmp_path)
+        path = checkpointer.save_shard("run", 0, MonoTable(SUM, initial={1: 1.0}))
+        _flip_accumulated_value(path)
+        with pytest.warns(RuntimeWarning, match="reseed-and-replay"):
+            assert not restore_guarding_corruption(
+                lambda: checkpointer.restore_shard("run", 0, MonoTable(SUM, initial={})),
+                what="test restore",
+            )
+        # a genuine run mismatch must keep propagating through the guard
+        checkpointer.save_shard("other", 0, MonoTable(SUM, initial={1: 1.0}))
+        with pytest.raises(CheckpointMismatchError):
+            restore_guarding_corruption(
+                lambda: checkpointer.restore_shard(
+                    "other", 0, MonoTable(MIN, initial={})
+                ),
+                what="test restore",
+            )
+
+
+class TestEngineSurvivesCorruption:
+    """A corrupt shard on disk must not crash a resuming engine: the run
+    falls back to reseed-and-replay and still reaches the fixpoint."""
+
+    def test_sync_engine_falls_back_to_replay(self, tmp_path):
+        from repro.distributed import ClusterConfig, SyncEngine
+
+        graph = rmat(40, 160, seed=11)
+        plan = PROGRAMS["sssp"].plan(graph)
+        cluster = ClusterConfig(num_workers=4)
+        expected = SyncEngine(plan, cluster).run().values
+
+        checkpointer = Checkpointer(tmp_path)
+        first = SyncEngine(
+            PROGRAMS["sssp"].plan(graph),
+            cluster,
+            checkpointer=checkpointer,
+            checkpoint_every=2,
+            run_name="corrupt-me",
+        ).run()
+        assert first.values == expected
+        assert checkpointer.has_checkpoint("corrupt-me", 1)
+
+        _flip_accumulated_value(checkpointer._path("corrupt-me", 1))
+        with pytest.warns(RuntimeWarning, match="reseed-and-replay"):
+            resumed = SyncEngine(
+                PROGRAMS["sssp"].plan(graph),
+                cluster,
+                checkpointer=checkpointer,
+                checkpoint_every=2,
+                run_name="corrupt-me",
+            ).run()
+        assert resumed.values == expected
+
+    def test_async_engine_falls_back_to_replay(self, tmp_path):
+        from repro.distributed import AsyncEngine, ClusterConfig
+
+        graph = rmat(40, 160, seed=11)
+        plan = PROGRAMS["sssp"].plan(graph)
+        cluster = ClusterConfig(num_workers=4)
+        expected = AsyncEngine(plan, cluster).run().values
+
+        checkpointer = Checkpointer(tmp_path)
+        AsyncEngine(
+            PROGRAMS["sssp"].plan(graph),
+            cluster,
+            checkpointer=checkpointer,
+            checkpoint_interval=1e-4,
+            run_name="corrupt-async",
+        ).run()
+        assert checkpointer.has_checkpoint("corrupt-async", 0)
+
+        _flip_accumulated_value(checkpointer._path("corrupt-async", 0))
+        with pytest.warns(RuntimeWarning, match="reseed-and-replay"):
+            resumed = AsyncEngine(
+                PROGRAMS["sssp"].plan(graph),
+                cluster,
+                checkpointer=checkpointer,
+                run_name="corrupt-async",
+            ).run()
+        assert resumed.values == expected

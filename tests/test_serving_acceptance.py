@@ -1,0 +1,162 @@
+"""SLO acceptance harness and serving observability tests.
+
+These are the serving layer's contract tests: byte-identical reruns
+(including under a fault schedule), the no-lost-request invariant,
+degraded-answer agreement within the chaos tolerances, and breaker
+visibility through ``repro.obs``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.serving import (
+    ServeConfig,
+    ServingService,
+    WorkloadSpec,
+    build_report,
+    default_chaos,
+    report_to_json,
+    run_serve_acceptance,
+)
+
+#: smaller than the CLI default to keep the suite quick, but with the
+#: same burst, tenants, mixes and version bumps
+SPEC = WorkloadSpec(num_requests=40)
+
+
+class TestAcceptanceHarness:
+    @pytest.mark.chaos
+    def test_passes_under_default_chaos(self, tmp_path):
+        acceptance = run_serve_acceptance(
+            spec=SPEC, chaos=default_chaos(), checkpoint_root=str(tmp_path)
+        )
+        assert acceptance.no_lost_requests
+        assert acceptance.deterministic
+        assert acceptance.all_agreed and acceptance.agreements
+        assert acceptance.breaker_visible is True
+        assert acceptance.passed
+        assert "PASS" in acceptance.summary()
+
+    def test_passes_without_chaos(self, tmp_path):
+        acceptance = run_serve_acceptance(spec=SPEC, checkpoint_root=str(tmp_path))
+        assert acceptance.passed
+        # no outage configured, so breaker visibility is not applicable
+        assert acceptance.breaker_visible is None
+
+    @pytest.mark.chaos
+    def test_same_seed_reports_are_byte_identical_under_faults(self, tmp_path):
+        config = ServeConfig()
+        payloads = []
+        for name in ("a", "b"):
+            service = ServingService(
+                config,
+                chaos=default_chaos(),
+                checkpoint_dir=str(tmp_path / name),
+            )
+            outcome = service.run(SPEC, seed=11)
+            payloads.append(
+                report_to_json(
+                    build_report(outcome, SPEC, config, chaos=default_chaos())
+                )
+            )
+        assert payloads[0] == payloads[1]
+
+    def test_different_seeds_differ(self):
+        config = ServeConfig()
+        reports = [
+            report_to_json(
+                build_report(ServingService(config).run(SPEC, seed=s), SPEC, config)
+            )
+            for s in (1, 2)
+        ]
+        assert reports[0] != reports[1]
+
+
+class TestServingObservability:
+    @pytest.mark.chaos
+    def test_serve_metrics_and_breaker_traces(self):
+        with Observability(keep_series=False) as obs:
+            service = ServingService(ServeConfig(), chaos=default_chaos(), obs=obs)
+            outcome = service.run(SPEC, seed=7)
+            kinds = obs.trace.counts_by_kind()
+            assert kinds.get("serve.arrive", 0) == SPEC.num_requests
+            assert kinds.get("serve.complete", 0) == SPEC.num_requests
+            assert kinds.get("serve.dispatch", 0) >= 1
+            # the outage trips the sync breaker and the half-open probe
+            # window is a clocked trace event, per the ISSUE contract
+            breaker_edges = [
+                (event.get("engine"), event.get("to"))
+                for event in obs.trace.events
+                if event["kind"] == "serve.breaker"
+            ]
+            assert ("sync", "open") in breaker_edges
+            assert ("sync", "half-open") in breaker_edges
+            assert obs.metrics.counter_total("serve.admitted") > 0
+            assert obs.metrics.counter_total("serve.completions") == SPEC.num_requests
+            assert obs.metrics.counter_total("serve.attempt_failures") >= 1
+            assert outcome.counters["attempt_failures"] >= 1
+
+    def test_disabled_obs_costs_nothing_and_still_serves(self):
+        outcome = ServingService(ServeConfig()).run(SPEC, seed=7)
+        assert len(outcome.responses) == SPEC.num_requests
+
+
+class TestServeCli:
+    def test_serve_json_is_deterministic(self, capsys):
+        from repro.cli import main
+
+        argv = ["serve", "--requests", "25", "--format", "json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        assert sum(report["status_counts"].values()) == 25
+
+    def test_serve_acceptance_exit_code_and_out_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "slo.json"
+        code = main(
+            [
+                "serve",
+                "--requests",
+                "25",
+                "--acceptance",
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "acceptance: PASS" in text
+        payload = json.loads(out.read_text())
+        assert payload["acceptance"]["passed"] is True
+        assert payload["acceptance"]["no_lost_requests"] is True
+
+    def test_chaos_json_format(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["chaos", "--programs", "sssp", "--engines", "sync", "--format", "json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["agreed"] is True
+        (report,) = document["reports"]
+        assert report["program"] == "sssp"
+        assert report["stats"]["crashes"] >= 1
+
+    def test_metrics_footer_surfaces_faults(self, capsys):
+        from repro.cli import main
+
+        code = main(["metrics", "sssp", "--engine", "sync", "--chaos"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "fault counters (EvalResult.faults):" in text
+        assert "totals:" in text and "fault counts" in text
