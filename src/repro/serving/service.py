@@ -385,9 +385,9 @@ class _ServingRun:
             self._runnable, (request.arrival, self._runnable_seq, request)
         )
 
-    def _trace(self, kind: str, **fields) -> None:
+    def _trace(self, kind: str, t: Optional[float] = None, **fields) -> None:
         if self.obs.enabled:
-            self.obs.trace.emit(kind, t=self.now, **fields)
+            self.obs.trace.emit(kind, t=self.now if t is None else t, **fields)
 
     def _inc(self, name: str, **labels) -> None:
         if self.obs.enabled:
@@ -413,20 +413,28 @@ class _ServingRun:
                 self._make_runnable(request)
 
     # -- terminal resolution ---------------------------------------------------
-    def _resolve(self, request: Request, status: str, **kwargs) -> None:
+    def _resolve(
+        self,
+        request: Request,
+        status: str,
+        at: Optional[float] = None,
+        **kwargs,
+    ) -> None:
         if request.id in self.responses:
             raise RuntimeError(
                 f"request {request.id} resolved twice ({status} after "
                 f"{self.responses[request.id].status})"
             )
+        resolved_at = self.now if at is None else at
+        self._dequeue_accounting(request)
         response = Response(
             request_id=request.id,
             tenant=request.tenant,
             program=request.program,
             engine=request.engine,
             status=status,
-            latency=max(0.0, self.now - request.arrival),
-            resolved_at=self.now,
+            latency=max(0.0, resolved_at - request.arrival),
+            resolved_at=resolved_at,
             attempts=request.attempts,
             **kwargs,
         )
@@ -434,6 +442,7 @@ class _ServingRun:
         self._states[request.id] = "resolved"
         self._trace(
             "serve.complete",
+            t=resolved_at,
             request=request.id,
             tenant=request.tenant,
             status=status,
@@ -536,10 +545,12 @@ class _ServingRun:
         if entry is not None:
             self.counters["cache_fresh_hits"] += 1
             self._inc("cache_hits", kind="fresh", tenant=request.tenant)
-            self.now += self.config.cache_cost
+            # the lookup cost delays this response only -- advancing
+            # self.now here would time-shift every other in-flight event
             self._resolve(
                 request,
                 OK,
+                at=self.now + self.config.cache_cost,
                 served_from="cache",
                 graph_version=entry.graph_version,
                 detail="cache",
@@ -581,6 +592,15 @@ class _ServingRun:
             return
         request._dispatched = True
         self.counters["dispatches"] += 1
+        self._dequeue_accounting(request)
+
+    def _dequeue_accounting(self, request: Request) -> None:
+        """Give the tenant's admission slot back exactly once, however
+        the request leaves the queue -- first dispatch, or a deadline
+        backstop resolving it before it was ever dispatched."""
+        if not request.admitted or getattr(request, "_dequeued", False):
+            return
+        request._dequeued = True
         depth = self.queue_depth.get(request.tenant, 1)
         self.queue_depth[request.tenant] = depth - 1
         if self.obs.enabled:
@@ -608,10 +628,14 @@ class _ServingRun:
             (request.program, self.graph_version, request.params, request.engine),
             self.seed,
         )
-        if profile.resumed:
-            self.counters["executions_resumed"] += 1
-        else:
-            self.counters["executions_full"] += 1
+        # memoised replays run no engine: only a profile's first use is
+        # a real run, keeping these counters equal to the report's
+        # per-profile engine_runs tallies
+        if profile.uses == 1:
+            if profile.resumed:
+                self.counters["executions_resumed"] += 1
+            else:
+                self.counters["executions_full"] += 1
         failed = self._attempt_fails(request.engine)
         if failed:
             lo, hi = self.chaos.failure_fraction
@@ -650,13 +674,18 @@ class _ServingRun:
             self._after_failure(request)
             return
         breaker.on_success(self.now)
+        # the execution was keyed on the graph version current at
+        # dispatch; a bump landing while it was in flight must not
+        # relabel the result, or cache.fresh() would serve old-graph
+        # values as fresh answers for the new version
+        version = profile.key[1]
         entry = None
         if profile.stop_reason in _CERTIFIED_STOPS:
             entry = CacheEntry(
-                key=cache_key(request.program, self.graph_version, request.params),
+                key=cache_key(request.program, version, request.params),
                 values=profile.values,
                 computed_at=self.now,
-                graph_version=self.graph_version,
+                graph_version=version,
                 stop_reason=profile.stop_reason,
                 engine=request.engine,
             )
@@ -670,7 +699,7 @@ class _ServingRun:
             request,
             OK,
             served_from="compute",
-            graph_version=self.graph_version,
+            graph_version=version,
             detail="resumed" if profile.resumed else "computed",
             result_key=entry.key if entry is not None else None,
             values=profile.values,

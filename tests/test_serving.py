@@ -10,6 +10,7 @@ from repro.serving import (
     FAILED,
     OK,
     OK_STALE,
+    Request,
     ResultCache,
     SHED,
     ServeChaos,
@@ -263,6 +264,85 @@ class TestServiceLifecycle:
         # restoring at the fixpoint must be cheaper than the cold run
         assert resumed[0].duration < full.duration
         assert resumed[0].values == full.values
+
+    def _request(self, id, arrival, deadline=None):
+        return Request(
+            id=id,
+            tenant="solo",
+            program="sssp",
+            engine="sync",
+            arrival=arrival,
+            deadline=arrival + 6.0 if deadline is None else deadline,
+        )
+
+    def test_version_bump_in_flight_does_not_pollute_cache(self):
+        # request 0 is executing when the bump lands; its v1 fixpoint
+        # must stay keyed on v1, so request 1 (graph v2) cannot be
+        # served it as a fresh OK answer
+        spec = single_spec(num_requests=2, version_bumps=(0.001,))
+        requests = [self._request(0, 0.0), self._request(1, 1.0)]
+        config = ServeConfig(freshness_ttl=100.0)
+        outcome = ServingService(config).serve(requests, spec, seed=5)
+        first, second = outcome.responses
+        assert first.status == OK and first.graph_version == 1
+        assert second.status == OK and second.graph_version == 2
+        assert outcome.counters["cache_fresh_hits"] == 0
+        assert outcome.counters["executions_full"] == 2
+
+    def test_deadline_expired_queued_requests_release_queue_slots(self):
+        # requests 1-3 fill the queue and deadline out before their
+        # first dispatch; their admission slots must come back, so the
+        # late request 4 is admitted instead of spuriously shed
+        spec = single_spec(
+            num_requests=5,
+            tenants=(TenantSpec("solo", queue_capacity=3, deadline=6.0),),
+        )
+        requests = [self._request(0, 0.0)]
+        requests += [
+            self._request(i, 0.0001, deadline=0.001) for i in (1, 2, 3)
+        ]
+        requests.append(self._request(4, 0.005))
+        outcome = ServingService(ServeConfig(executors=1)).serve(
+            requests, spec, seed=5
+        )
+        by_id = {r.request_id: r for r in outcome.responses}
+        assert [by_id[i].status for i in (1, 2, 3)] == [TIMEOUT] * 3
+        assert by_id[4].status == OK
+
+    def test_cache_hit_cost_does_not_shift_global_clock(self):
+        # requests 1 and 2 queue behind request 0 and both hit the
+        # fresh cache when it completes: each pays cache_cost once,
+        # from the same dispatch instant -- the cost never accumulates
+        # onto the shared clock
+        spec = single_spec(num_requests=3)
+        requests = [
+            self._request(0, 0.0),
+            self._request(1, 0.001),
+            self._request(2, 0.002),
+        ]
+        config = ServeConfig(executors=1, freshness_ttl=100.0)
+        outcome = ServingService(config).serve(requests, spec, seed=5)
+        first, hit1, hit2 = outcome.responses
+        assert hit1.served_from == "cache" and hit2.served_from == "cache"
+        assert hit1.resolved_at == pytest.approx(
+            first.resolved_at + config.cache_cost
+        )
+        assert hit2.resolved_at == pytest.approx(hit1.resolved_at)
+
+    def test_execution_counters_match_report_engine_runs(self, tmp_path):
+        spec = single_spec(num_requests=8, arrival_rate=0.8)
+        config = ServeConfig(freshness_ttl=0.1)
+        service = ServingService(config, checkpoint_dir=str(tmp_path))
+        outcome = service.run(spec, seed=5)
+        report = build_report(outcome, spec, config)
+        assert (
+            outcome.counters["executions_full"]
+            == report["engine_runs"]["distinct"]
+        )
+        assert (
+            outcome.counters["executions_resumed"]
+            == report["engine_runs"]["resumed"]
+        )
 
     def test_serving_loop_survives_corrupt_checkpoint(self, tmp_path):
         from tests.test_fault import _flip_accumulated_value
