@@ -1,0 +1,43 @@
+"""Incremental maintenance benchmark: delta repair vs recompute.
+
+Insert-only deltas at 0.1%, 1% and 10% of the dataset's edges against
+the RA320 programs; asserts bit-exact agreement between the repaired
+and recomputed fixpoints while timing, and guards the qualitative
+claim: small deltas repair in a fraction of the from-scratch work
+(deterministic ``work.*`` counters, not wall-clock).  Writes the
+committed baseline ``benchmarks/results/BENCH_delta.json``.
+"""
+
+from repro.bench.delta import (
+    DELTA_FRACTIONS,
+    WORK_RATIO_CEILING,
+    run_delta_bench,
+    write_delta_baseline,
+)
+
+
+def test_delta_repair_vs_recompute(benchmark, bench_scale, save_report):
+    # capped at the smoke scale: the work-ratio claim is scale-stable and
+    # the committed baseline must not churn between bench targets
+    report = benchmark.pedantic(
+        lambda: run_delta_bench(scale=min(bench_scale, 0.25)),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    path = write_delta_baseline(report)
+    print(f"[baseline saved to {path}]")
+
+    assert len(report.rows) == 2 * len(DELTA_FRACTIONS)
+    for row in report.rows:
+        # exactness was asserted inside the bench; pin the row contract
+        assert row["fixpoint_matches"]
+        # insert-only deltas on RA320 programs always take the fast path
+        assert row["strategy"] == "frontier"
+        assert row["repair_work"] < row["recompute_work"]
+        if row["delta_fraction"] <= 0.01:
+            assert row["work_ratio"] <= WORK_RATIO_CEILING, (
+                f"{row['program']} @ {row['delta_fraction']:.1%}: repair did "
+                f"{row['work_ratio']:.1%} of recompute work "
+                f"(ceiling {WORK_RATIO_CEILING:.0%})"
+            )

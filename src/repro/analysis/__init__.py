@@ -16,6 +16,8 @@ the individual passes are importable on their own:
   pre-screen the condition checker fast-paths through;
 * :mod:`repro.analysis.asynccert`   -- Theorem-3 async-eligibility
   certificates the asynchronous engines require;
+* :mod:`repro.analysis.incremental` -- incremental-maintainability
+  classification (RA32x) gating :mod:`repro.delta` repair strategies;
 * :mod:`repro.analysis.comm`        -- sharding / communication-shape
   analysis surfaced through ``repro.obs`` metrics.
 """
@@ -39,6 +41,7 @@ from repro.analysis.depgraph import (
 )
 from repro.analysis.structure import check_structure
 from repro.analysis.lints import run_lints
+from repro.analysis.incremental import IncrementalVerdict, classify_incremental
 from repro.analysis.prescreen import PreScreenVerdict, match_pattern, prescreen
 from repro.analysis.asynccert import (
     AsyncCertificate,
@@ -78,6 +81,8 @@ __all__ = [
     "PreScreenVerdict",
     "match_pattern",
     "prescreen",
+    "IncrementalVerdict",
+    "classify_incremental",
     "AsyncCertificate",
     "AsyncIneligibleError",
     "certify_async",

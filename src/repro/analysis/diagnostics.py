@@ -67,6 +67,10 @@ CODES: dict[str, str] = {
     # Theorem-3 async certification (RA31x)
     "RA310": "program not certified for asynchronous execution",
     "RA311": "Theorem-3 async certificate granted",
+    # incremental maintainability under graph deltas (RA32x)
+    "RA320": "incrementally maintainable (inserts and deletions)",
+    "RA321": "insert-only incremental maintenance; deletions recompute",
+    "RA322": "not incrementally maintainable",
     # sharding / communication shape (RA4xx)
     "RA401": "communication shape",
 }
@@ -145,6 +149,8 @@ class AnalysisReport:
     theorem1: Optional[dict[str, Any]] = None
     #: Theorem-3 async-eligibility section
     theorem3: Optional[dict[str, Any]] = None
+    #: incremental-maintainability section (RA32x verdict)
+    incremental: Optional[dict[str, Any]] = None
     #: per-recursive-body communication-shape section
     communication: list[dict[str, Any]] = field(default_factory=list)
     #: predicate strata, bottom-up (EDB first), from the dependency graph
@@ -200,6 +206,11 @@ class AnalysisReport:
             method = self.theorem3.get("method")
             suffix = f" ({method})" if method else ""
             lines.append(f"theorem-3 async: {verdict}{suffix}")
+        if self.incremental is not None:
+            lines.append(
+                f"incremental maintenance: {self.incremental.get('mode')} "
+                f"({self.incremental.get('code')})"
+            )
         for entry in self.communication:
             shape = "co-partitioned" if entry.get("co_partitionable") else "cross-worker"
             lines.append(
@@ -218,6 +229,7 @@ class AnalysisReport:
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "theorem1": self.theorem1,
             "theorem3": self.theorem3,
+            "incremental": self.incremental,
             "communication": self.communication,
             "strata": self.strata,
         }

@@ -1,0 +1,137 @@
+"""Incremental-maintainability classification: RA320/RA321/RA322.
+
+The delta subsystem (:mod:`repro.delta`) repairs a prior fixpoint
+instead of recomputing it -- but only where that is provably exact.
+This pass derives the static verdict from facts the earlier passes
+already established:
+
+* ``full`` (RA320): selective, idempotent aggregates (min/max) whose
+  every recursive body passed the Theorem-1 structural pre-screen, with
+  plain fixpoint termination and no iteration index.  Pure growth takes
+  the frontier fast path; deletions take bounded re-derivation (the
+  affected forward closure is recomputed, everything else is provably
+  unchanged).
+
+* ``insert-only`` (RA321): additive aggregates (sum/count) with a
+  linear-homogeneous ``F'`` -- added contributions sum in exactly,
+  but retracting one would require subtracting *derived* mass, which
+  the MonoTable does not track per-derivation.  Deletions and weight
+  updates fall back to full recomputation.
+
+* ``none`` (RA322): everything else.  Iterated (replacement-semantics)
+  programs rebuild each stratum from the previous one, so there is no
+  standing fixpoint to repair; epsilon-terminated programs stop short
+  of the true fixpoint, so a repair continued from the prior stop point
+  would not be bit-equal to a from-scratch run; pre-screen-inconclusive
+  and non-monotone programs lack the Theorem-1 certificate the repair's
+  exactness argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.aggregates import AggregateKind
+from repro.analysis.prescreen import prescreen
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.analyzer import ProgramAnalysis
+
+#: verdict modes, most capable first
+MODES = ("full", "insert-only", "none")
+
+#: mode -> diagnostic code (stable, pinned by the golden tests)
+MODE_CODES = {
+    "full": "RA320",
+    "insert-only": "RA321",
+    "none": "RA322",
+}
+
+
+@dataclass(frozen=True)
+class IncrementalVerdict:
+    """Static verdict on how a program's fixpoint may be maintained."""
+
+    #: ``"full"`` | ``"insert-only"`` | ``"none"``
+    mode: str
+    detail: str
+    aggregate: str
+
+    @property
+    def code(self) -> str:
+        return MODE_CODES[self.mode]
+
+    @property
+    def maintainable(self) -> bool:
+        return self.mode != "none"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "code": self.code,
+            "maintainable": self.maintainable,
+            "aggregate": self.aggregate,
+            "detail": self.detail,
+        }
+
+
+def classify_incremental(analysis: "ProgramAnalysis") -> IncrementalVerdict:
+    """Classify an analysed program for the delta subsystem."""
+    aggregate = analysis.aggregate
+    name = aggregate.name
+
+    if analysis.iterated:
+        return IncrementalVerdict(
+            mode="none",
+            aggregate=name,
+            detail=(
+                "iterated (replacement-semantics) recursion rebuilds every "
+                "stratum; there is no standing fixpoint to repair"
+            ),
+        )
+    if analysis.termination is not None:
+        return IncrementalVerdict(
+            mode="none",
+            aggregate=name,
+            detail=(
+                "epsilon-terminated recursion stops short of the true "
+                "fixpoint; a repair resumed from the prior stop point is "
+                "not bit-equal to a from-scratch run"
+            ),
+        )
+    verdict = prescreen(analysis)
+    if not verdict.eligible:
+        return IncrementalVerdict(
+            mode="none",
+            aggregate=name,
+            detail=(
+                "Theorem-1 pre-screen did not certify every recursive body; "
+                f"repair exactness is unproven ({verdict.detail})"
+            ),
+        )
+    if aggregate.kind is AggregateKind.SELECTIVE and aggregate.is_idempotent:
+        return IncrementalVerdict(
+            mode="full",
+            aggregate=name,
+            detail=(
+                f"selective aggregate {name!r} with monotone F' "
+                f"({verdict.pattern}): inserts repair from the frontier, "
+                "deletions re-derive the affected forward closure"
+            ),
+        )
+    if aggregate.kind is AggregateKind.ADDITIVE:
+        return IncrementalVerdict(
+            mode="insert-only",
+            aggregate=name,
+            detail=(
+                f"additive aggregate {name!r} with linear-homogeneous F' "
+                f"({verdict.pattern}): inserts sum in exactly; deletions "
+                "would retract derived mass and fall back to recompute"
+            ),
+        )
+    return IncrementalVerdict(
+        mode="none",
+        aggregate=name,
+        detail=f"aggregate {name!r} is neither selective nor additive",
+    )

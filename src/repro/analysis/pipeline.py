@@ -10,7 +10,8 @@ program usable):
 5. extraction      -- the analyzer's G/F'/C decomposition (RA12x on
    failure, reported as diagnostics rather than stack traces);
 6. theorem-1 pre-screen (RA301/RA302), theorem-3 async certification
-   (RA310/RA311) and communication-shape analysis (RA401).
+   (RA310/RA311), incremental-maintainability classification
+   (RA320/RA321/RA322) and communication-shape analysis (RA401).
 
 Every pass appends to one :class:`~repro.analysis.diagnostics.AnalysisReport`.
 """
@@ -23,6 +24,7 @@ from repro.analysis.asynccert import certify_async
 from repro.analysis.comm import communication_shape, estimate_plan_communication
 from repro.analysis.depgraph import build_graph, strata
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, error, info
+from repro.analysis.incremental import classify_incremental
 from repro.analysis.lints import run_lints
 from repro.analysis.prescreen import prescreen
 from repro.analysis.structure import check_structure
@@ -104,6 +106,17 @@ def analyze_program(
         "detail": certificate.detail,
     }
     report.add(certificate.diagnostic)
+
+    # -- incremental maintainability ---------------------------------------
+    incremental = classify_incremental(analysis)
+    report.incremental = incremental.to_dict()
+    report.add(
+        info(
+            incremental.code,
+            f"incremental maintenance: {incremental.mode} "
+            f"({incremental.detail})",
+        )
+    )
 
     # -- communication shape ----------------------------------------------
     estimate = (

@@ -28,6 +28,7 @@ from repro.bench.harness import (
     run_worker_scaling,
 )
 from repro.bench.kernels import run_kernel_bench, write_kernel_baseline
+from repro.bench.delta import run_delta_bench, write_delta_baseline
 
 __all__ = [
     "format_table",
@@ -53,4 +54,6 @@ __all__ = [
     "run_worker_scaling",
     "run_kernel_bench",
     "write_kernel_baseline",
+    "run_delta_bench",
+    "write_delta_baseline",
 ]

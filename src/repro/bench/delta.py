@@ -1,0 +1,153 @@
+"""Incremental-repair vs recompute benchmark for ``repro.delta``.
+
+Applies insert-only deltas sized at 0.1%, 1% and 10% of the dataset's
+edges to the RA320 programs (``sssp``, ``cc``), repairs the standing
+fixpoint with :func:`repro.delta.repair_plan` and re-evaluates the
+mutated graph from scratch with the MRA evaluator.  Exactness is
+asserted *while* measuring -- the repaired fixpoint must equal the
+recomputed one bit for bit, otherwise the speedup is meaningless.
+
+The measurement of record is engine work (``fprime_applications +
+combines + updates`` from :class:`~repro.engine.result.WorkCounters`),
+never wall-clock: work counters are deterministic per (graph, delta,
+backend), so the committed baseline
+``benchmarks/results/BENCH_delta.json`` is byte-stable across hosts.
+The guarded claim: at delta sizes <= 1% the repair does at most
+``WORK_RATIO_CEILING`` of the recompute work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.incremental import classify_incremental
+from repro.bench.harness import ExperimentReport
+from repro.bench.report import format_table
+from repro.delta import random_delta, repair_plan
+from repro.engine.mra import MRAEvaluator
+from repro.graphs import load_dataset
+from repro.programs import PROGRAMS
+
+#: insert-only delta sizes as a fraction of the dataset's edge count
+DELTA_FRACTIONS = (0.001, 0.01, 0.1)
+
+#: repairs at delta sizes <= 1% must do at most this fraction of the
+#: from-scratch work (the "measurably less" acceptance criterion)
+WORK_RATIO_CEILING = 0.5
+
+#: RA320 programs exercised by default (insert-only frontier repairs)
+DELTA_PROGRAMS = ("sssp", "cc")
+
+BASELINE_PATH = os.path.join("benchmarks", "results", "BENCH_delta.json")
+
+
+def _work(counters) -> int:
+    """The deterministic work measure: F' applications + combines + updates."""
+    return (
+        counters.fprime_applications + counters.combines + counters.updates
+    )
+
+
+def run_delta_bench(
+    scale: float = 0.25,
+    dataset: str = "livej",
+    programs: Optional[Sequence[str]] = None,
+    fractions: Sequence[float] = DELTA_FRACTIONS,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Repair-vs-recompute rows for every (program, delta fraction).
+
+    Each row records both wall times (host-dependent, informational) and
+    both work counts (deterministic, the contract) plus their ratio.
+    """
+    programs = list(programs or DELTA_PROGRAMS)
+    graph = load_dataset(dataset, scale).with_weights()
+    rows = []
+    for program in programs:
+        spec = PROGRAMS[program]
+        mode = classify_incremental(spec.analysis()).mode
+        old_plan = spec.plan(graph)
+        prior = MRAEvaluator(old_plan).run().values
+        for fraction in fractions:
+            inserts = max(1, int(graph.num_edges * fraction))
+            delta = random_delta(
+                graph, seed=seed, insert_edges=inserts
+            )
+            mutated = delta.apply_to(graph)
+            new_plan = spec.plan(mutated)
+
+            started = time.perf_counter()
+            repair = repair_plan(old_plan, new_plan, prior, mode=mode)
+            repair_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            scratch = MRAEvaluator(spec.plan(mutated)).run()
+            scratch_seconds = time.perf_counter() - started
+
+            if repair.values != scratch.values:
+                raise AssertionError(
+                    f"{program} @ {fraction:.1%}: repaired fixpoint "
+                    "differs from recompute -- speedup would be bogus"
+                )
+            repair_work = _work(repair.counters)
+            scratch_work = _work(scratch.counters)
+            rows.append(
+                {
+                    "program": program,
+                    "dataset": dataset,
+                    "scale": scale,
+                    "delta_fraction": fraction,
+                    "delta_edges": len(delta.insert_edges),
+                    "strategy": repair.strategy,
+                    "repair_work": repair_work,
+                    "recompute_work": scratch_work,
+                    "work_ratio": round(repair_work / scratch_work, 4),
+                    "repair_seconds": round(repair_seconds, 6),
+                    "recompute_seconds": round(scratch_seconds, 6),
+                    "fixpoint_matches": True,
+                }
+            )
+    notes = [
+        f"work = fprime_applications + combines + updates (deterministic); "
+        f"ceiling {WORK_RATIO_CEILING} applies at fractions <= 1%",
+    ]
+    for row in rows:
+        notes.append(
+            f"{row['program']} @ {row['delta_fraction']:.1%} "
+            f"({row['delta_edges']} edges): {row['strategy']} repair did "
+            f"{row['work_ratio']:.1%} of the recompute work"
+        )
+    text = (
+        "Incremental repair vs recompute -- insert-only deltas\n"
+        + format_table(rows)
+        + "\n"
+        + "\n".join(notes)
+    )
+    return ExperimentReport("delta", rows, text, notes)
+
+
+def write_delta_baseline(
+    report: ExperimentReport, path: str = BASELINE_PATH
+) -> str:
+    """Persist the committed JSON baseline for ``make smoke-bench``."""
+    # wall times are host noise -- the committed baseline keeps only the
+    # deterministic work columns so re-running the bench never dirties it
+    stable_rows = [
+        {k: v for k, v in row.items() if not k.endswith("_seconds")}
+        for row in report.rows
+    ]
+    payload = {
+        "benchmark": "delta",
+        "work_ratio_ceiling": WORK_RATIO_CEILING,
+        "delta_fractions": list(DELTA_FRACTIONS),
+        "programs": list(DELTA_PROGRAMS),
+        "rows": stable_rows,
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

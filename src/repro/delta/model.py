@@ -1,0 +1,332 @@
+"""The :class:`GraphDelta` batch model and its validation policy.
+
+A delta is one *atomic* batch of graph mutations: edge inserts (with
+optional weights), edge deletes, weight updates, appended vertices and
+vertex removals.  Validation is strict -- a malformed batch raises
+:class:`DeltaValidationError` before anything is applied, so a
+:class:`~repro.delta.view.MutableGraphView` can never end up in a
+half-mutated state:
+
+* an inserted edge must not already exist (use ``update_weights``), must
+  not be duplicated inside the batch, and must not be a self loop unless
+  ``allow_self_loops`` is set;
+* deletes and weight updates must name existing edges (dangling deletes
+  are errors, not no-ops), and an edge cannot be both deleted and
+  updated in one batch;
+* ``remove_vertices`` uses tombstone semantics: incident edges are
+  dropped but the vertex id is never reused and ``num_vertices`` does
+  not shrink, so keys remain stable across versions.
+
+Weights are always materialised before the first mutation:
+``Graph.generate_weights`` derives weights from the *edge list* and the
+seed, so mutating an unweighted graph lazily would silently re-roll
+every weight.  :meth:`GraphDelta.apply_to` therefore pins the base
+weights first and only then edits the edge list.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.graphs.graph import Graph
+
+
+class DeltaValidationError(ValueError):
+    """A :class:`GraphDelta` batch is inconsistent with its base graph."""
+
+
+#: default weight for inserts that do not specify one
+DEFAULT_WEIGHT = 1
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of graph mutations, validated against a base graph."""
+
+    #: ``(src, dst, weight)`` triples; ``weight=None`` means
+    #: :data:`DEFAULT_WEIGHT`
+    insert_edges: tuple = ()
+    #: ``(src, dst)`` pairs that must exist in the base graph
+    delete_edges: tuple = ()
+    #: ``(src, dst, weight)`` for existing edges
+    update_weights: tuple = ()
+    #: number of fresh vertices appended after ``num_vertices``
+    add_vertices: int = 0
+    #: tombstoned vertices: incident edges dropped, id slot kept
+    remove_vertices: tuple = ()
+    allow_self_loops: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "insert_edges",
+            tuple(
+                (int(s), int(d), w if w is None else float(w))
+                for s, d, w in (
+                    e if len(e) == 3 else (*e, None) for e in self.insert_edges
+                )
+            ),
+        )
+        object.__setattr__(
+            self, "delete_edges", tuple((int(s), int(d)) for s, d in self.delete_edges)
+        )
+        object.__setattr__(
+            self,
+            "update_weights",
+            tuple((int(s), int(d), float(w)) for s, d, w in self.update_weights),
+        )
+        object.__setattr__(self, "remove_vertices", tuple(int(v) for v in self.remove_vertices))
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.insert_edges
+            or self.delete_edges
+            or self.update_weights
+            or self.add_vertices
+            or self.remove_vertices
+        )
+
+    @property
+    def is_insert_only(self) -> bool:
+        """Pure growth: no facts are retracted and no weights change.
+
+        Insert-only deltas are the fast path of the incremental engine --
+        the prior fixpoint stays a valid lower (min) / upper (max) bound
+        and additive contributions only ever gain terms.
+        """
+        return not (self.delete_edges or self.update_weights or self.remove_vertices)
+
+    def summary(self) -> dict:
+        return {
+            "insert_edges": len(self.insert_edges),
+            "delete_edges": len(self.delete_edges),
+            "update_weights": len(self.update_weights),
+            "add_vertices": self.add_vertices,
+            "remove_vertices": len(self.remove_vertices),
+            "insert_only": self.is_insert_only,
+        }
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`DeltaValidationError` unless the batch is applicable."""
+        bound = graph.num_vertices + self.add_vertices
+        existing = set(graph.edges)
+        removed_vertices = set(self.remove_vertices)
+
+        if self.add_vertices < 0:
+            raise DeltaValidationError("add_vertices must be non-negative")
+
+        seen_removed: set = set()
+        for vertex in self.remove_vertices:
+            if not 0 <= vertex < graph.num_vertices:
+                raise DeltaValidationError(
+                    f"remove_vertices: vertex {vertex} is not in the graph "
+                    f"(0..{graph.num_vertices - 1})"
+                )
+            if vertex in seen_removed:
+                raise DeltaValidationError(
+                    f"remove_vertices: vertex {vertex} listed twice"
+                )
+            seen_removed.add(vertex)
+
+        deletes = set()
+        for pair in self.delete_edges:
+            if pair in deletes:
+                raise DeltaValidationError(f"delete_edges: edge {pair} listed twice")
+            if pair not in existing:
+                raise DeltaValidationError(
+                    f"delete_edges: edge {pair} does not exist (dangling delete)"
+                )
+            deletes.add(pair)
+
+        seen_updates: set = set()
+        for src, dst, _ in self.update_weights:
+            pair = (src, dst)
+            if pair in seen_updates:
+                raise DeltaValidationError(
+                    f"update_weights: edge {pair} listed twice"
+                )
+            if pair not in existing:
+                raise DeltaValidationError(
+                    f"update_weights: edge {pair} does not exist"
+                )
+            if pair in deletes:
+                raise DeltaValidationError(
+                    f"update_weights: edge {pair} is also deleted in this batch"
+                )
+            seen_updates.add(pair)
+
+        seen_inserts: set = set()
+        for src, dst, _ in self.insert_edges:
+            pair = (src, dst)
+            if not (0 <= src < bound and 0 <= dst < bound):
+                raise DeltaValidationError(
+                    f"insert_edges: edge {pair} is out of range "
+                    f"(graph has {graph.num_vertices} vertices, "
+                    f"{self.add_vertices} added)"
+                )
+            if src == dst and not self.allow_self_loops:
+                raise DeltaValidationError(
+                    f"insert_edges: self loop {pair} "
+                    "(set allow_self_loops to permit)"
+                )
+            if pair in seen_inserts:
+                raise DeltaValidationError(
+                    f"insert_edges: edge {pair} listed twice in one batch"
+                )
+            if pair in existing and pair not in deletes:
+                raise DeltaValidationError(
+                    f"insert_edges: edge {pair} already exists "
+                    "(use update_weights to change its weight)"
+                )
+            if src in removed_vertices or dst in removed_vertices:
+                raise DeltaValidationError(
+                    f"insert_edges: edge {pair} touches a vertex removed "
+                    "in the same batch"
+                )
+            seen_inserts.add(pair)
+
+    # -- application ----------------------------------------------------------
+    def apply_to(self, graph: Graph) -> Graph:
+        """Validate, then return the mutated graph (the base is untouched).
+
+        The result always carries materialised weights (see module
+        docstring); surviving edges keep their original order, inserts
+        are appended in batch order, so the mutation is deterministic.
+        """
+        self.validate(graph)
+        base = graph if graph.weights is not None else graph.with_weights()
+
+        removed_pairs = set(self.delete_edges)
+        removed_vertices = set(self.remove_vertices)
+        updates = {(src, dst): weight for src, dst, weight in self.update_weights}
+
+        edges: list = []
+        weights: list = []
+        for (src, dst), weight in zip(base.edges, base.weights):
+            if (src, dst) in removed_pairs:
+                continue
+            if src in removed_vertices or dst in removed_vertices:
+                continue
+            edges.append((src, dst))
+            weights.append(updates.get((src, dst), weight))
+        for src, dst, weight in self.insert_edges:
+            edges.append((src, dst))
+            weights.append(DEFAULT_WEIGHT if weight is None else weight)
+
+        return Graph(
+            base.num_vertices + self.add_vertices,
+            edges,
+            weights,
+            name=base.name,
+            seed=base.seed,
+        )
+
+    # -- serialisation (the ``repro delta`` CLI file format) -------------------
+    def to_dict(self) -> dict:
+        return {
+            "insert_edges": [list(edge) for edge in self.insert_edges],
+            "delete_edges": [list(edge) for edge in self.delete_edges],
+            "update_weights": [list(edge) for edge in self.update_weights],
+            "add_vertices": self.add_vertices,
+            "remove_vertices": list(self.remove_vertices),
+            "allow_self_loops": self.allow_self_loops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GraphDelta":
+        known = {
+            "insert_edges",
+            "delete_edges",
+            "update_weights",
+            "add_vertices",
+            "remove_vertices",
+            "allow_self_loops",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise DeltaValidationError(
+                f"unknown delta fields: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        return cls(
+            insert_edges=tuple(tuple(e) for e in payload.get("insert_edges", ())),
+            delete_edges=tuple(tuple(e) for e in payload.get("delete_edges", ())),
+            update_weights=tuple(tuple(e) for e in payload.get("update_weights", ())),
+            add_vertices=int(payload.get("add_vertices", 0)),
+            remove_vertices=tuple(payload.get("remove_vertices", ())),
+            allow_self_loops=bool(payload.get("allow_self_loops", False)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphDelta":
+        return cls.from_dict(json.loads(text))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def random_delta(
+    graph: Graph,
+    seed: int,
+    insert_edges: int = 0,
+    delete_edges: int = 0,
+    update_weights: int = 0,
+    acyclic: bool = False,
+    weight_range: tuple = (1, 9),
+) -> GraphDelta:
+    """A deterministic random mutation batch over ``graph``.
+
+    Uses ``random.Random`` (not numpy) so delta streams are reproducible
+    on numpy-less installs.  ``acyclic=True`` restricts inserts to
+    ``src < dst`` -- the invariant :func:`repro.graphs.random_dag`
+    guarantees -- so path-counting programs stay well-defined.
+    """
+    rng = random.Random(seed)
+    existing = set(graph.edges)
+    n = graph.num_vertices
+    low, high = weight_range
+
+    inserts: list = []
+    chosen: set = set()
+    attempts = 0
+    while len(inserts) < insert_edges and attempts < 50 * max(1, insert_edges):
+        attempts += 1
+        src = rng.randrange(n)
+        dst = rng.randrange(n)
+        if acyclic and src >= dst:
+            src, dst = dst, src
+        if src == dst:
+            continue
+        if (src, dst) in existing or (src, dst) in chosen:
+            continue
+        chosen.add((src, dst))
+        inserts.append((src, dst, rng.randint(low, high)))
+
+    deletable = sorted(existing)
+    deletes = (
+        [tuple(pair) for pair in rng.sample(deletable, min(delete_edges, len(deletable)))]
+        if delete_edges
+        else []
+    )
+    deleted = set(deletes)
+
+    updatable = [pair for pair in deletable if pair not in deleted]
+    updates = (
+        [
+            (src, dst, rng.randint(low, high))
+            for src, dst in rng.sample(updatable, min(update_weights, len(updatable)))
+        ]
+        if update_weights
+        else []
+    )
+
+    return GraphDelta(
+        insert_edges=tuple(inserts),
+        delete_edges=tuple(deletes),
+        update_weights=tuple(updates),
+    )

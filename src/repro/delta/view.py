@@ -1,0 +1,119 @@
+"""A versioned mutable view over an immutable :class:`~repro.graphs.Graph`.
+
+``Graph`` stays a frozen value type (plans, engines and datasets all
+assume edge lists never change under them).  A
+:class:`MutableGraphView` layers versions on top: version 1 is the base
+graph (weights materialised, see :mod:`repro.delta.model`), and every
+:meth:`apply` produces version ``k+1`` from version ``k`` plus one
+validated :class:`~repro.delta.model.GraphDelta`.  All versions and the
+deltas that produced them stay addressable, which is what lets the
+serving layer repair a fixpoint cached at version ``j`` up to the
+current version without replaying the workload.
+"""
+
+from __future__ import annotations
+
+from repro.delta.model import GraphDelta
+from repro.graphs.graph import Graph
+
+
+class MutableGraphView:
+    """Versioned graph: ``graph_at(1)`` is the base, ``apply`` bumps."""
+
+    def __init__(self, base: Graph, start_version: int = 1):
+        if start_version < 1:
+            raise ValueError("start_version must be >= 1")
+        materialised = base if base.weights is not None else base.with_weights()
+        self._start = start_version
+        self._graphs: dict[int, Graph] = {start_version: materialised}
+        #: version -> the delta that produced it (absent for the base)
+        self._deltas: dict[int, GraphDelta] = {}
+        self.version = start_version
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def base_version(self) -> int:
+        return self._start
+
+    @property
+    def graph(self) -> Graph:
+        """The graph at the current (latest) version."""
+        return self._graphs[self.version]
+
+    def graph_at(self, version: int) -> Graph:
+        try:
+            return self._graphs[version]
+        except KeyError:
+            raise KeyError(
+                f"no graph at version {version} "
+                f"(have {self._start}..{self.version})"
+            ) from None
+
+    def delta_for(self, version: int) -> GraphDelta:
+        """The delta that produced ``version`` from ``version - 1``."""
+        try:
+            return self._deltas[version]
+        except KeyError:
+            raise KeyError(
+                f"no delta produced version {version} "
+                f"(deltas exist for {sorted(self._deltas)})"
+            ) from None
+
+    def deltas_between(self, old: int, new: int) -> list:
+        """The delta chain turning version ``old`` into version ``new``."""
+        if not self._start <= old <= new <= self.version:
+            raise KeyError(
+                f"version range {old}..{new} outside {self._start}..{self.version}"
+            )
+        return [self._deltas[v] for v in range(old + 1, new + 1)]
+
+    def history(self) -> list:
+        """``(version, delta summary)`` pairs, oldest first."""
+        return [
+            (version, self._deltas[version].summary())
+            for version in sorted(self._deltas)
+        ]
+
+    # -- mutation -------------------------------------------------------------
+    def apply(self, delta: GraphDelta) -> Graph:
+        """Validate ``delta`` against the head, bump the version, return
+        the new head graph.  On validation failure nothing changes."""
+        mutated = delta.apply_to(self.graph)
+        renamed = Graph(
+            mutated.num_vertices,
+            mutated.edges,
+            mutated.weights,
+            name=self._graphs[self._start].name,
+            seed=mutated.seed,
+        )
+        self.version += 1
+        self._graphs[self.version] = renamed
+        self._deltas[self.version] = delta
+        return renamed
+
+    def advance_to(self, version: int, make_delta) -> Graph:
+        """Apply ``make_delta(view, next_version)`` until ``version``.
+
+        The callback builds the delta for each intermediate bump; used by
+        the serving layer to lazily materialise versions on demand.
+        """
+        if version < self._start:
+            raise KeyError(f"version {version} predates base {self._start}")
+        while self.version < version:
+            self.apply(make_delta(self, self.version + 1))
+        return self.graph_at(version)
+
+    def __repr__(self):
+        return (
+            f"MutableGraphView({self.graph.name}: versions "
+            f"{self._start}..{self.version}, head {self.graph.num_vertices}v/"
+            f"{self.graph.num_edges}e)"
+        )
+
+
+def view_of(graph: Graph, start_version: int = 1) -> MutableGraphView:
+    """Convenience constructor mirroring :func:`repro.graphs` factories."""
+    return MutableGraphView(graph, start_version=start_version)
+
+
+__all__ = ["MutableGraphView", "view_of"]

@@ -28,6 +28,9 @@ from repro.serving.service import (
     ServeOutcome,
     ServingService,
     default_chaos,
+    serving_delta,
+    serving_graph,
+    serving_view,
 )
 from repro.serving.slo import (
     SLO_REPORT_SCHEMA,
@@ -78,4 +81,7 @@ __all__ = [
     "render_text",
     "report_to_json",
     "run_serve_acceptance",
+    "serving_delta",
+    "serving_graph",
+    "serving_view",
 ]

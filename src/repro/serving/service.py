@@ -22,7 +22,15 @@ generated request stream against them on one simulated clock:
   :class:`~repro.distributed.fault.Checkpointer`; recomputations and
   post-crash retries restore from the latest checkpoint and converge in
   a fraction of the original run (a corrupted checkpoint falls back to
-  reseed-and-replay instead of crashing the loop).
+  reseed-and-replay instead of crashing the loop);
+* **incremental maintenance** -- graph version bumps are concrete
+  :class:`~repro.delta.GraphDelta` batches applied through a per-program
+  :class:`~repro.delta.MutableGraphView`.  When a request arrives at a
+  new version and the program is RA32x-certified, the stale-but-certified
+  cache entry is *repaired* via :func:`repro.delta.repair_plan` from the
+  prior fixpoint instead of being discarded -- the response is fresh,
+  accounted as ``executions_repaired``, and priced by repair ops rather
+  than a full run.
 
 Determinism contract: the service consumes one seeded RNG in event
 order, every engine execution is itself deterministic, and the clock is
@@ -45,6 +53,14 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.delta import (
+    GraphDelta,
+    MutableGraphView,
+    choose_strategy,
+    diff_plans,
+    random_delta,
+    repair_plan,
+)
 from repro.distributed.aap import AAPEngine
 from repro.distributed.async_engine import AsyncEngine
 from repro.distributed.chaos import FaultSchedule
@@ -149,8 +165,14 @@ class ServeConfig:
     breaker_reset: float = 0.75
     #: sync-engine checkpoint cadence (supersteps) when checkpointing
     checkpoint_every: int = 4
-    #: seed of the per-version default graphs
+    #: seed of the base graphs and their per-version mutation deltas
     graph_seed: int = 7
+    #: fraction of head edges inserted by each version-bump delta
+    delta_fraction: float = 0.02
+    #: simulated cost per repair op (accumulate attempts + edge
+    #: applications) when a stale certified fixpoint is repaired in
+    #: place instead of recomputed
+    repair_op_cost: float = 1e-5
     backend: Optional[str] = None
 
 
@@ -164,6 +186,9 @@ class ExecutionProfile:
     stop_reason: str
     #: True when the run restored from a checkpoint (recomputation path)
     resumed: bool
+    #: True when the values were produced by incrementally repairing a
+    #: stale certified cache entry (no engine ran at all)
+    repaired: bool = False
     #: FaultStats snapshot of the run (engine-internal chaos), or {}
     faults: dict = field(default_factory=dict)
     uses: int = 0
@@ -184,14 +209,60 @@ class ServeOutcome:
     final_graph_version: int
 
 
-def serving_graph(program: str, version: int, graph_seed: int = 7):
+#: fraction of head edges each serving version bump inserts when the
+#: ServeConfig does not override it
+DEFAULT_DELTA_FRACTION = 0.02
+
+
+def serving_delta(
+    graph, program: str, version: int, graph_seed: int = 7,
+    delta_fraction: float = DEFAULT_DELTA_FRACTION,
+) -> GraphDelta:
+    """The mutation batch that produces ``version`` from ``version - 1``.
+
+    Deterministic in ``(program, version, graph_seed)``: a seeded
+    insert-only batch sized as a fraction of the head's edge count.
+    Inserts respect acyclicity when the base graph is topologically
+    ordered (``src < dst`` everywhere, as :func:`repro.graphs.random_dag`
+    guarantees), so path-counting programs stay well-defined.
+    """
+    acyclic = all(src < dst for src, dst in graph.edges)
+    inserts = max(1, int(graph.num_edges * delta_fraction))
+    seed = (
+        graph_seed * 1_000_003
+        + 131 * version
+        + (zlib.crc32(program.encode("utf-8")) & 0xFFFF)
+    )
+    return random_delta(graph, seed=seed, insert_edges=inserts, acyclic=acyclic)
+
+
+def serving_view(
+    program: str, graph_seed: int = 7
+) -> MutableGraphView:
+    """A fresh versioned view over the program's base serving graph."""
+    return MutableGraphView(default_graph(program, seed=graph_seed))
+
+
+def serving_graph(
+    program: str, version: int, graph_seed: int = 7,
+    delta_fraction: float = DEFAULT_DELTA_FRACTION,
+):
     """The graph a program runs on at a given version.
 
-    Version bumps model mutation ingests: each version is a freshly
-    generated graph, so cached fixpoints for older versions genuinely
-    disagree with the current data and can only be served as stale.
+    Version bumps model mutation ingests as *applied deltas*: version 1
+    is the base graph and every later version extends the previous one
+    by one :func:`serving_delta` batch.  Cached fixpoints for older
+    versions genuinely disagree with the current data -- but because the
+    versions are delta-related, a stale certified fixpoint can be
+    *repaired* to the current version instead of discarded.
     """
-    return default_graph(program, seed=graph_seed + 13 * (version - 1))
+    view = serving_view(program, graph_seed)
+    return view.advance_to(
+        version,
+        lambda v, ver: serving_delta(
+            v.graph, program, ver, graph_seed, delta_fraction
+        ),
+    )
 
 
 def execution_seed(base_seed: int, key: tuple) -> int:
@@ -219,14 +290,46 @@ class ServingService:
         self._plans: dict = {}
         self.profiles: dict = {}
         self._resume_profiles: dict = {}
+        self._views: dict = {}
+        self._incremental_modes: dict = {}
+
+    # -- versioned graphs (mutation ingests as applied deltas) ---------------
+    def _view(self, program: str) -> MutableGraphView:
+        view = self._views.get(program)
+        if view is None:
+            view = serving_view(program, self.config.graph_seed)
+            self._views[program] = view
+        return view
+
+    def _graph(self, program: str, version: int):
+        view = self._view(program)
+        return view.advance_to(
+            version,
+            lambda v, ver: serving_delta(
+                v.graph,
+                program,
+                ver,
+                self.config.graph_seed,
+                self.config.delta_fraction,
+            ),
+        )
+
+    def _incremental_mode(self, program: str) -> str:
+        """RA32x verdict (``full`` / ``insert-only`` / ``none``), cached."""
+        mode = self._incremental_modes.get(program)
+        if mode is None:
+            from repro.analysis.incremental import classify_incremental
+
+            mode = classify_incremental(get_program(program).analysis()).mode
+            self._incremental_modes[program] = mode
+        return mode
 
     # -- engine execution (memoised) ----------------------------------------
     def _plan(self, program: str, version: int):
         key = (program, version)
         if key not in self._plans:
             spec = get_program(program)
-            graph = serving_graph(program, version, self.config.graph_seed)
-            self._plans[key] = spec.plan(graph)
+            self._plans[key] = spec.plan(self._graph(program, version))
         return self._plans[key]
 
     def _termination(self, plan, params: tuple):
@@ -274,12 +377,60 @@ class ServingService:
         factory = _ENGINE_FACTORIES[engine]
         return factory(plan, self._cluster(key, seed), **kwargs).run()
 
-    def _execute(self, key: tuple, seed: int) -> ExecutionProfile:
+    def _repair_profile(self, key: tuple, basis) -> Optional[ExecutionProfile]:
+        """Repair a stale certified fixpoint up to ``key``'s version.
+
+        Returns ``None`` when the program's RA32x verdict (or the shape
+        of the accumulated deltas) forces a recompute -- the caller then
+        runs a real engine.  The repair itself runs no engine: it diffs
+        the compiled plans of the two versions and replays the delta
+        subsystem's frontier/re-derivation repair, priced per repair op.
+        """
+        memo = self.profiles.get(key + ("repair",))
+        if memo is not None:
+            return memo
+        program, version, params, engine = key
+        mode = self._incremental_mode(program)
+        if mode == "none":
+            return None
+        old_plan = self._plan(program, basis.graph_version)
+        new_plan = self._plan(program, version)
+        if choose_strategy(mode, diff_plans(old_plan, new_plan)) == "recompute":
+            return None
+        repair = repair_plan(
+            old_plan,
+            new_plan,
+            basis.values,
+            mode=mode,
+            backend=self.config.backend,
+            obs=self.obs,
+            program=program,
+        )
+        if repair.stop_reason not in _CERTIFIED_STOPS:
+            return None
+        profile = ExecutionProfile(
+            key=key,
+            values=repair.values,
+            duration=self.config.cache_cost
+            + repair.ops * self.config.repair_op_cost,
+            stop_reason=repair.stop_reason,
+            resumed=False,
+            repaired=True,
+        )
+        self.profiles[key + ("repair",)] = profile
+        return profile
+
+    def _execute(
+        self, key: tuple, seed: int, repair_basis=None
+    ) -> ExecutionProfile:
         """Measured execution: real engine runs, memoised per key.
 
         Once a completed run has checkpointed, later executions restore
         from the checkpoint -- the measured resume run is the cost of
-        recomputing a query the service has answered before.
+        recomputing a query the service has answered before.  When the
+        caller holds a stale-but-certified cache entry for an earlier
+        graph version (``repair_basis``), an incrementally maintainable
+        program repairs it in place instead of running any engine.
         """
         if self._has_checkpoints(key):
             profile = self._resume_profiles.get(key)
@@ -298,6 +449,11 @@ class ServingService:
             profile.uses += 1
             return profile
         profile = self.profiles.get(key + ("full",))
+        if profile is None and repair_basis is not None:
+            repaired = self._repair_profile(key, repair_basis)
+            if repaired is not None:
+                repaired.uses += 1
+                return repaired
         if profile is None:
             result = self._run_engine(key, seed, with_checkpointer=True)
             profile = ExecutionProfile(
@@ -362,6 +518,7 @@ class _ServingRun:
             "deadline_resolutions": 0,
             "executions_full": 0,
             "executions_resumed": 0,
+            "executions_repaired": 0,
             "version_bumps": 0,
         }
         self.breakers = {
@@ -617,7 +774,30 @@ class _ServingRun:
         )
         if self.service._has_checkpoints(key):
             return self.service._resume_profiles.get(key)
-        return self.service.profiles.get(key + ("full",))
+        profile = self.service.profiles.get(key + ("full",))
+        if profile is None:
+            profile = self.service.profiles.get(key + ("repair",))
+        return profile
+
+    def _repair_basis(self, request: Request):
+        """A stale certified entry from an *older* graph version that the
+        delta subsystem may repair in place of a full engine run."""
+        key = (
+            request.program,
+            self.graph_version,
+            request.params,
+            request.engine,
+        )
+        if key + ("full",) in self.service.profiles:
+            return None
+        if self.service._has_checkpoints(key):
+            return None
+        entry = self.cache.fallback(
+            request.program, self.graph_version, request.params
+        )
+        if entry is not None and entry.graph_version < self.graph_version:
+            return entry
+        return None
 
     def _start_attempt(self, request: Request, breaker: CircuitBreaker) -> bool:
         request.attempts += 1
@@ -627,12 +807,16 @@ class _ServingRun:
         profile = self.service._execute(
             (request.program, self.graph_version, request.params, request.engine),
             self.seed,
+            repair_basis=self._repair_basis(request),
         )
         # memoised replays run no engine: only a profile's first use is
-        # a real run, keeping these counters equal to the report's
-        # per-profile engine_runs tallies
+        # a real run (or a real repair), keeping these counters equal to
+        # the report's per-profile engine_runs tallies
         if profile.uses == 1:
-            if profile.resumed:
+            if profile.repaired:
+                self.counters["executions_repaired"] += 1
+                self._inc("repairs", program=request.program)
+            elif profile.resumed:
                 self.counters["executions_resumed"] += 1
             else:
                 self.counters["executions_full"] += 1
@@ -695,12 +879,18 @@ class _ServingRun:
             # deadline is blown: this request is a TIMEOUT
             self._resolve(request, TIMEOUT, detail="completed-after-deadline")
             return
+        if profile.repaired:
+            detail = "repaired"
+        elif profile.resumed:
+            detail = "resumed"
+        else:
+            detail = "computed"
         self._resolve(
             request,
             OK,
             served_from="compute",
             graph_version=version,
-            detail="resumed" if profile.resumed else "computed",
+            detail=detail,
             result_key=entry.key if entry is not None else None,
             values=profile.values,
         )

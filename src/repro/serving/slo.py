@@ -24,7 +24,7 @@ from repro.serving.request import (
 )
 
 #: bump when the report layout changes
-SLO_REPORT_SCHEMA = 1
+SLO_REPORT_SCHEMA = 2
 
 
 def percentile(values, q: float) -> float:
@@ -92,9 +92,10 @@ def build_report(outcome, spec, config, chaos=None) -> dict:
         }
 
     fault_totals: dict = {}
-    executions = {"full": 0, "resumed": 0}
+    executions = {"full": 0, "resumed": 0, "repaired": 0}
+    kind_of = {"resume": "resumed", "repair": "repaired"}
     for key, profile in sorted(outcome.profiles.items(), key=repr):
-        executions["resumed" if key[-1] == "resume" else "full"] += 1
+        executions[kind_of.get(key[-1], "full")] += 1
         for counter, count in profile.faults.items():
             fault_totals[counter] = fault_totals.get(counter, 0) + count
 
@@ -128,6 +129,7 @@ def build_report(outcome, spec, config, chaos=None) -> dict:
         "engine_runs": {
             "distinct": executions["full"],
             "resumed": executions["resumed"],
+            "repaired": executions["repaired"],
             "fault_totals": dict(sorted(fault_totals.items())),
         },
         "staleness": {
@@ -179,6 +181,7 @@ def render_text(report: dict) -> str:
     lines.append(
         f"  engine runs: distinct={report['engine_runs']['distinct']} "
         f"resumed={report['engine_runs']['resumed']} "
+        f"repaired={report['engine_runs']['repaired']} "
         f"attempts={report['counters']['attempts']} "
         f"failures={report['counters']['attempt_failures']} "
         f"retries={report['counters']['retries']}"

@@ -99,3 +99,50 @@ class TestStableCodes:
 
     def test_async_ineligible(self, capsys):
         self.expect_codes(capsys, "bad_async_ineligible", {"RA310", "RA302"})
+
+
+class TestIncrementalCodes:
+    """RA32x incremental-maintainability verdicts per registry program.
+
+    These gate :mod:`repro.delta` repair strategies, so the mapping is a
+    contract: a program silently moving between RA320/RA321/RA322 would
+    change which serving-layer cache entries get repaired in place.
+    """
+
+    #: selective fixpoints: deletions re-derive, inserts take the frontier
+    FULL = {"sssp", "cc", "viterbi", "lca", "apsp"}
+    #: additive fixpoints: insert-only fast path, deletions recompute
+    INSERT_ONLY = {"dag_paths", "cost"}
+
+    def verdict_of(self, capsys, name):
+        _, payload = lint_json(capsys, name)
+        return payload["incremental"], {
+            d["code"] for d in payload["diagnostics"]
+        }
+
+    @pytest.mark.parametrize("name", sorted(FULL))
+    def test_selective_programs_are_ra320(self, capsys, name):
+        verdict, codes = self.verdict_of(capsys, name)
+        assert "RA320" in codes
+        assert verdict["mode"] == "full" and verdict["maintainable"]
+
+    @pytest.mark.parametrize("name", sorted(INSERT_ONLY))
+    def test_additive_programs_are_ra321(self, capsys, name):
+        verdict, codes = self.verdict_of(capsys, name)
+        assert "RA321" in codes
+        assert verdict["mode"] == "insert-only" and verdict["maintainable"]
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(PROGRAMS) - FULL - INSERT_ONLY)
+    )
+    def test_everything_else_is_ra322(self, capsys, name):
+        verdict, codes = self.verdict_of(capsys, name)
+        assert "RA322" in codes
+        assert verdict["mode"] == "none" and not verdict["maintainable"]
+
+    def test_epsilon_termination_is_called_out(self, capsys):
+        # simrank is structurally a sum fixpoint, but its epsilon stop
+        # makes repaired and from-scratch runs diverge -- the detail
+        # must say so, not just "none"
+        verdict, _ = self.verdict_of(capsys, "simrank")
+        assert "epsilon" in verdict["detail"]

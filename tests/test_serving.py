@@ -245,7 +245,13 @@ class TestServiceLifecycle:
         assert outcome.final_graph_version == 2
         versions = {r.graph_version for r in outcome.responses if r.served}
         assert versions == {1, 2}
-        assert outcome.counters["executions_full"] >= 2
+        # the v2 answer is real work, never the stale v1 entry: either a
+        # second full run or (for RA32x-maintainable sssp) a delta repair
+        assert (
+            outcome.counters["executions_full"]
+            + outcome.counters["executions_repaired"]
+            >= 2
+        )
 
     def test_checkpointed_recomputation_resumes(self, tmp_path):
         spec = single_spec(num_requests=8, arrival_rate=0.8)
@@ -287,7 +293,13 @@ class TestServiceLifecycle:
         assert first.status == OK and first.graph_version == 1
         assert second.status == OK and second.graph_version == 2
         assert outcome.counters["cache_fresh_hits"] == 0
-        assert outcome.counters["executions_full"] == 2
+        # the v2 answer is computed (full run or delta repair of the v1
+        # fixpoint), never the cached v1 entry passed off as fresh
+        assert (
+            outcome.counters["executions_full"]
+            + outcome.counters["executions_repaired"]
+            == 2
+        )
 
     def test_deadline_expired_queued_requests_release_queue_slots(self):
         # requests 1-3 fill the queue and deadline out before their
@@ -343,6 +355,10 @@ class TestServiceLifecycle:
             outcome.counters["executions_resumed"]
             == report["engine_runs"]["resumed"]
         )
+        assert (
+            outcome.counters["executions_repaired"]
+            == report["engine_runs"]["repaired"]
+        )
 
     def test_serving_loop_survives_corrupt_checkpoint(self, tmp_path):
         from tests.test_fault import _flip_accumulated_value
@@ -363,6 +379,89 @@ class TestServiceLifecycle:
         served_first = {r.request_id: r.values for r in first.responses if r.served}
         served_second = {r.request_id: r.values for r in second.responses if r.served}
         assert served_second == served_first
+
+
+class TestDeltaRepair:
+    """A version bump is an applied GraphDelta; certified programs repair
+    the stale fixpoint instead of recomputing from scratch."""
+
+    @staticmethod
+    def _request(id, arrival, program="sssp"):
+        return Request(
+            id=id,
+            tenant="solo",
+            program=program,
+            engine="sync",
+            arrival=arrival,
+            deadline=arrival + 6.0,
+        )
+
+    def _bump_outcome(self, program="sssp"):
+        spec = single_spec(
+            num_requests=2,
+            program_mix=((program, 1.0),),
+            version_bumps=(0.5,),
+        )
+        requests = [self._request(0, 0.0, program), self._request(1, 1.0, program)]
+        config = ServeConfig(freshness_ttl=100.0)
+        return ServingService(config).serve(requests, spec, seed=5)
+
+    def test_version_bump_takes_repair_path(self):
+        # regression pin for the delta-repair fast path: v1 runs full,
+        # the v2 request repairs the cached v1 fixpoint and is answered
+        # FRESH (OK, not OK_STALE) at the new version
+        outcome = self._bump_outcome()
+        first, second = outcome.responses
+        assert first.status == OK and first.graph_version == 1
+        assert first.detail == "computed"
+        assert second.status == OK and second.graph_version == 2
+        assert not second.stale
+        assert second.detail == "repaired"
+        assert outcome.counters["executions_full"] == 1
+        assert outcome.counters["executions_repaired"] == 1
+        assert outcome.counters["executions_resumed"] == 0
+
+    def test_repaired_values_match_full_recompute(self):
+        # the repaired v2 fixpoint must be bit-identical to what a cold
+        # service computes for v2 from scratch
+        outcome = self._bump_outcome()
+        repaired = outcome.responses[1]
+        assert repaired.detail == "repaired"
+
+        spec = single_spec(num_requests=1, version_bumps=(0.5,))
+        cold = ServingService(ServeConfig(freshness_ttl=100.0)).serve(
+            [self._request(0, 1.0)], spec, seed=5
+        )
+        reference = cold.responses[0]
+        assert reference.graph_version == 2
+        assert reference.detail == "computed"
+        assert repaired.values == reference.values
+
+    def test_repair_is_cheaper_than_full_run(self):
+        # the repair profile is priced by repair ops, which must come in
+        # under the measured cold-run duration for a small delta
+        outcome = self._bump_outcome()
+        profiles = {key[-1]: p for key, p in outcome.profiles.items()}
+        assert profiles.keys() == {"full", "repair"}
+        assert profiles["repair"].repaired
+        assert profiles["repair"].duration < profiles["full"].duration
+
+    def test_unmaintainable_program_recomputes(self):
+        # pagerank is RA322 (iterated): a version bump must fall back to
+        # a second full execution, never a repair
+        outcome = self._bump_outcome(program="pagerank")
+        second = outcome.responses[1]
+        assert second.status == OK and second.graph_version == 2
+        assert second.detail == "computed"
+        assert outcome.counters["executions_full"] == 2
+        assert outcome.counters["executions_repaired"] == 0
+
+    def test_repair_counted_in_report_engine_runs(self):
+        outcome = self._bump_outcome()
+        spec = single_spec(num_requests=2, version_bumps=(0.5,))
+        report = build_report(outcome, spec, ServeConfig(freshness_ttl=100.0))
+        assert report["engine_runs"]["repaired"] == 1
+        assert report["engine_runs"]["distinct"] == 1
 
 
 class TestReport:
