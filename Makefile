@@ -7,7 +7,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install lint lint-programs typecheck test chaos serve serve-bench bench quick-bench smoke-bench examples check clean
+.PHONY: install lint lint-programs typecheck test chaos serve serve-bench bench quick-bench smoke-bench bench-gate golden-drift examples check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -80,6 +80,22 @@ smoke-bench:
 		--ignore=benchmarks/bench_fig10_gain.py \
 		--ignore=benchmarks/bench_fig11_aap.py \
 		--ignore=benchmarks/bench_worker_scaling.py
+
+# CI perf-regression gate: rerun the kernel + delta benches at the
+# committed baseline's scales, compare work.* counters exactly and
+# speedup floors within a tolerance band, write the JSON diff artifact
+bench-gate:
+	mkdir -p benchmarks/results
+	$(PYTHON) tools/bench_gate.py \
+		--out benchmarks/results/bench-gate-diff.json
+
+# the golden lint snapshots must be regenerable bit-for-bit: rerun the
+# regeneration and fail if anything under tests/golden drifts
+golden-drift:
+	REPRO_REGEN_GOLDEN=1 $(PYTHON) -m pytest -q tests/test_lint_golden.py
+	git diff --quiet tests/golden || ( \
+		echo "tests/golden drifted from the committed snapshots:"; \
+		git --no-pager diff --stat tests/golden; exit 1 )
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done

@@ -18,6 +18,8 @@ the individual passes are importable on their own:
   certificates the asynchronous engines require;
 * :mod:`repro.analysis.incremental` -- incremental-maintainability
   classification (RA32x) gating :mod:`repro.delta` repair strategies;
+* :mod:`repro.analysis.frontier`    -- sparse-frontier scheduling
+  applicability (RA33x) gating the sparse backend's delta-stepping;
 * :mod:`repro.analysis.comm`        -- sharding / communication-shape
   analysis surfaced through ``repro.obs`` metrics.
 """
@@ -41,6 +43,7 @@ from repro.analysis.depgraph import (
 )
 from repro.analysis.structure import check_structure
 from repro.analysis.lints import run_lints
+from repro.analysis.frontier import FrontierVerdict, classify_frontier
 from repro.analysis.incremental import IncrementalVerdict, classify_incremental
 from repro.analysis.prescreen import PreScreenVerdict, match_pattern, prescreen
 from repro.analysis.asynccert import (
@@ -83,6 +86,8 @@ __all__ = [
     "prescreen",
     "IncrementalVerdict",
     "classify_incremental",
+    "FrontierVerdict",
+    "classify_frontier",
     "AsyncCertificate",
     "AsyncIneligibleError",
     "certify_async",

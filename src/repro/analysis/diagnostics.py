@@ -71,6 +71,9 @@ CODES: dict[str, str] = {
     "RA320": "incrementally maintainable (inserts and deletions)",
     "RA321": "insert-only incremental maintenance; deletions recompute",
     "RA322": "not incrementally maintainable",
+    # sparse-frontier scheduling applicability (RA33x)
+    "RA330": "sparse frontier: bucketed delta-stepping applicable",
+    "RA331": "sparse frontier: compaction only, delta-stepping inapplicable",
     # sharding / communication shape (RA4xx)
     "RA401": "communication shape",
 }
@@ -151,6 +154,8 @@ class AnalysisReport:
     theorem3: Optional[dict[str, Any]] = None
     #: incremental-maintainability section (RA32x verdict)
     incremental: Optional[dict[str, Any]] = None
+    #: sparse-frontier scheduling section (RA33x verdict)
+    frontier: Optional[dict[str, Any]] = None
     #: per-recursive-body communication-shape section
     communication: list[dict[str, Any]] = field(default_factory=list)
     #: predicate strata, bottom-up (EDB first), from the dependency graph
@@ -211,6 +216,11 @@ class AnalysisReport:
                 f"incremental maintenance: {self.incremental.get('mode')} "
                 f"({self.incremental.get('code')})"
             )
+        if self.frontier is not None:
+            lines.append(
+                f"sparse frontier: {self.frontier.get('mode')} "
+                f"({self.frontier.get('code')})"
+            )
         for entry in self.communication:
             shape = "co-partitioned" if entry.get("co_partitionable") else "cross-worker"
             lines.append(
@@ -230,6 +240,7 @@ class AnalysisReport:
             "theorem1": self.theorem1,
             "theorem3": self.theorem3,
             "incremental": self.incremental,
+            "frontier": self.frontier,
             "communication": self.communication,
             "strata": self.strata,
         }

@@ -1,0 +1,108 @@
+"""Sparse-frontier applicability classification: RA330/RA331.
+
+The ``sparse`` vertex runtime (:mod:`repro.runtime.sparse_kernel`) has
+two scheduling modes and this pass derives, statically, which one a
+program may use:
+
+* ``delta-stepping`` (RA330): selective, idempotent aggregates
+  (min/max) whose every recursive body passed the Theorem-1 structural
+  pre-screen.  Bucketed (Meyer--Sanders style) value scheduling is
+  exact for these programs because the fold is order-insensitive and
+  idempotent: a pending value parked in a later bucket can only be
+  *improved* by work drained from earlier buckets, and re-relaxing a
+  key is harmless, so lazy bucket deletion never changes the fixpoint.
+
+* ``compaction-only`` (RA331): everything else.  Frontier compaction
+  (batching ``G ∘ F'`` over the packed pending set) is always exact --
+  it changes how the frontier is *stored*, not which contributions
+  fold -- but value-bucketed scheduling is not: additive aggregates
+  accumulate every contribution, so draining buckets out of arrival
+  order would observe partial sums, and non-monotone programs lack the
+  improvement invariant the bucket ordering rests on.  Requesting
+  delta-stepping for such a program is refused at the engine layer;
+  this diagnostic is the static warning ahead of that refusal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.aggregates import AggregateKind
+from repro.analysis.prescreen import prescreen
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.analyzer import ProgramAnalysis
+
+#: scheduling modes, most capable first
+MODES = ("delta-stepping", "compaction-only")
+
+#: mode -> diagnostic code (stable, pinned by the golden tests)
+MODE_CODES = {
+    "delta-stepping": "RA330",
+    "compaction-only": "RA331",
+}
+
+
+@dataclass(frozen=True)
+class FrontierVerdict:
+    """Static verdict on the sparse backend's scheduling options."""
+
+    #: ``"delta-stepping"`` | ``"compaction-only"``
+    mode: str
+    detail: str
+    aggregate: str
+
+    @property
+    def code(self) -> str:
+        return MODE_CODES[self.mode]
+
+    @property
+    def delta_stepping(self) -> bool:
+        return self.mode == "delta-stepping"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "code": self.code,
+            "delta_stepping": self.delta_stepping,
+            "aggregate": self.aggregate,
+            "detail": self.detail,
+        }
+
+
+def classify_frontier(analysis: "ProgramAnalysis") -> FrontierVerdict:
+    """Classify an analysed program for the sparse vertex runtime."""
+    aggregate = analysis.aggregate
+    name = aggregate.name
+
+    if aggregate.kind is not AggregateKind.SELECTIVE or not aggregate.is_idempotent:
+        return FrontierVerdict(
+            mode="compaction-only",
+            aggregate=name,
+            detail=(
+                f"aggregate {name!r} is not selective-idempotent; value "
+                "buckets would reorder non-idempotent folds, so the sparse "
+                "backend uses frontier compaction without delta-stepping"
+            ),
+        )
+    verdict = prescreen(analysis)
+    if not verdict.eligible:
+        return FrontierVerdict(
+            mode="compaction-only",
+            aggregate=name,
+            detail=(
+                "Theorem-1 pre-screen did not certify every recursive "
+                "body as monotone; bucket ordering is unproven "
+                f"({verdict.detail})"
+            ),
+        )
+    return FrontierVerdict(
+        mode="delta-stepping",
+        aggregate=name,
+        detail=(
+            f"selective idempotent aggregate {name!r} with monotone F' "
+            f"({verdict.pattern}): bucketed value scheduling with lazy "
+            "deletion reaches the identical fixpoint"
+        ),
+    )

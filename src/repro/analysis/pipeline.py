@@ -11,7 +11,8 @@ program usable):
    failure, reported as diagnostics rather than stack traces);
 6. theorem-1 pre-screen (RA301/RA302), theorem-3 async certification
    (RA310/RA311), incremental-maintainability classification
-   (RA320/RA321/RA322) and communication-shape analysis (RA401).
+   (RA320/RA321/RA322), sparse-frontier scheduling applicability
+   (RA330/RA331) and communication-shape analysis (RA401).
 
 Every pass appends to one :class:`~repro.analysis.diagnostics.AnalysisReport`.
 """
@@ -24,6 +25,7 @@ from repro.analysis.asynccert import certify_async
 from repro.analysis.comm import communication_shape, estimate_plan_communication
 from repro.analysis.depgraph import build_graph, strata
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, error, info
+from repro.analysis.frontier import classify_frontier
 from repro.analysis.incremental import classify_incremental
 from repro.analysis.lints import run_lints
 from repro.analysis.prescreen import prescreen
@@ -115,6 +117,16 @@ def analyze_program(
             incremental.code,
             f"incremental maintenance: {incremental.mode} "
             f"({incremental.detail})",
+        )
+    )
+
+    # -- sparse-frontier scheduling ----------------------------------------
+    frontier = classify_frontier(analysis)
+    report.frontier = frontier.to_dict()
+    report.add(
+        info(
+            frontier.code,
+            f"sparse frontier: {frontier.mode} ({frontier.detail})",
         )
     )
 

@@ -11,7 +11,8 @@ The measurement of record is engine work (``fprime_applications +
 combines + updates`` from :class:`~repro.engine.result.WorkCounters`),
 never wall-clock: work counters are deterministic per (graph, delta,
 backend), so the committed baseline
-``benchmarks/results/BENCH_delta.json`` is byte-stable across hosts.
+``benchmarks/results/BENCH_delta.json`` is byte-stable across hosts
+(ratios rounded to 9 decimals, wall-clock columns dropped).
 The guarded claim: at delta sizes <= 1% the repair does at most
 ``WORK_RATIO_CEILING`` of the recompute work.
 """
@@ -104,7 +105,7 @@ def run_delta_bench(
                     "strategy": repair.strategy,
                     "repair_work": repair_work,
                     "recompute_work": scratch_work,
-                    "work_ratio": round(repair_work / scratch_work, 4),
+                    "work_ratio": round(repair_work / scratch_work, 9),
                     "repair_seconds": round(repair_seconds, 6),
                     "recompute_seconds": round(scratch_seconds, 6),
                     "fixpoint_matches": True,

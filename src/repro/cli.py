@@ -62,7 +62,12 @@ from repro.distributed import (
 )
 from repro.graphs import compute_stats, dataset_names, load_dataset
 from repro.programs import PROGRAMS, get_program
-from repro.runtime import BACKEND_ENV_VAR, KERNELS
+from repro.runtime import (
+    BACKEND_ENV_VAR,
+    KERNELS,
+    KernelUnavailableError,
+    resolve_backend,
+)
 from repro.systems import PowerLog
 
 _ENGINES = {
@@ -193,6 +198,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         graph = load_dataset(args.dataset, args.scale)
     cluster = ClusterConfig(num_workers=args.workers)
+    if resolve_backend(args.backend) in ("sparse", "jit"):
+        from repro.analysis.frontier import classify_frontier
+
+        frontier = classify_frontier(spec.analysis())
+        if not frontier.delta_stepping:
+            print(
+                f"note[{frontier.code}]: {args.program} runs the sparse "
+                f"frontier compaction-only ({frontier.detail})"
+            )
     if args.engine == "powerlog":
         system = PowerLog()
         print(system.decide(spec).summary())
@@ -888,7 +902,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KernelUnavailableError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,6 @@ from typing import Optional
 
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.partition import HashPartitioner
-from repro.engine.mra import compute_initial_delta
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import WorkCounters
 from repro.runtime import Kernel, get_kernel, resolve_backend
@@ -27,6 +26,7 @@ class ShardedRun:
         plan: CompiledPlan,
         cluster: ClusterConfig,
         backend: Optional[str] = None,
+        delta_step_width: Optional[float] = None,
     ):
         self.plan = plan
         self.cluster = cluster
@@ -38,6 +38,8 @@ class ShardedRun:
         self.counters = WorkCounters()
         self.backend = resolve_backend(backend)
         self.kernel_cls = get_kernel(self.backend)
+        #: bucket width announced to every kernel (sync delta-stepping)
+        self.delta_step_width = delta_step_width
 
         shard_keys: list[set] = [set() for _ in range(cluster.num_workers)]
         for key, worker in self.owner.items():
@@ -49,12 +51,15 @@ class ShardedRun:
 
     def _make_shard(self, worker: int, initial: Optional[dict] = None) -> Kernel:
         """A fresh kernel for one worker's partition (``X⁰`` by default)."""
-        return self.kernel_cls.from_plan(
+        kernel = self.kernel_cls.from_plan(
             self.plan,
             keys=self.shard_keys[worker],
             counters=self.counters,
             initial=initial,
         )
+        if self.delta_step_width is not None:
+            kernel.enable_delta_stepping(self.delta_step_width)
+        return kernel
 
     def blank_shard(self, worker: int) -> Kernel:
         """An empty kernel for the partition (crash-recovery scratch state)."""
@@ -62,7 +67,7 @@ class ShardedRun:
 
     def seed_initial_delta(self) -> None:
         """Distribute ``ΔX¹`` (section 3.3) to its owners' shards."""
-        for key, value in compute_initial_delta(self.plan).items():
+        for key, value in self.kernel_cls.initial_delta(self.plan).items():
             self.shards[self.owner[key]].push(key, value)
 
     def reseed_shard(self, shard_id: int) -> Kernel:
@@ -73,7 +78,7 @@ class ShardedRun:
         deltas, and peer replay regenerates everything derived.
         """
         shard = self._make_shard(shard_id)
-        for key, value in compute_initial_delta(self.plan).items():
+        for key, value in self.kernel_cls.initial_delta(self.plan).items():
             if self.owner[key] == shard_id:
                 shard.push(key, value)
         self.shards[shard_id] = shard

@@ -100,7 +100,12 @@ class SyncEngine:
         cluster = self.cluster
         cost = cluster.cost
         obs = self.obs
-        state = ShardedRun(plan, cluster, backend=self.backend)
+        state = ShardedRun(
+            plan,
+            cluster,
+            backend=self.backend,
+            delta_step_width=self.delta_width if self.delta_stepping else None,
+        )
         restored = False
         if self.checkpointer is not None:
             restored = restore_guarding_corruption(

@@ -72,8 +72,9 @@ class MRAEvaluator:
 
     def run(self) -> EvalResult:
         plan = self.plan
-        kernel = get_kernel(self.backend).from_plan(plan, counters=self.counters)
-        kernel.push_many(compute_initial_delta(plan).items())
+        kernel_cls = get_kernel(self.backend)
+        kernel = kernel_cls.from_plan(plan, counters=self.counters)
+        kernel.push_many(kernel_cls.initial_delta(plan).items())
 
         tracker = TerminationTracker(self.termination)
         stop = None

@@ -15,6 +15,7 @@ A :class:`CompiledPlan` is therefore a dependency graph over keys:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -52,6 +53,12 @@ class CompiledPlan:
     #: per-key constant contributions ``C`` (one application's worth)
     constants: dict
     termination: TerminationSpec
+    #: columnar edge storage, one ``EdgeColumns`` per recursive body in
+    #: ``fprime_fns`` order; the same edges as ``out_edges`` in emission
+    #: order, kept as flat parallel columns so vectorized backends can
+    #: pack a CSR without walking every edge tuple in Python.  ``None``
+    #: for hand-built plans -- consumers must fall back to ``out_edges``.
+    edge_columns: Optional[tuple] = None
 
     @property
     def aggregate(self):
@@ -74,6 +81,54 @@ class CompiledPlan:
             f"CompiledPlan({self.name}: {len(self.keys)} keys, "
             f"{self.num_edges} edges, aggregate={self.aggregate.name})"
         )
+
+
+class EdgeColumns:
+    """One recursive body's edges as flat parallel columns.
+
+    ``srcs[j] -> dsts[j]`` with parameters ``tuple(col[j] for col in
+    param_cols)`` and the body's compiled ``fn``; ``j`` runs in emission
+    order, i.e. the per-source order ``out_edges`` preserves.
+
+    Columns start as C-typed :mod:`array` storage (``'q'`` for keys,
+    ``'d'`` for parameters) and demote to plain lists the first time a
+    value does not fit (tuple keys, symbolic parameters).  Typed
+    columns let vectorized backends pack a CSR via zero-copy buffer
+    views instead of touching every edge tuple in Python; this module
+    itself never needs numpy for them.
+    """
+
+    __slots__ = ("fn", "_cols")
+
+    def __init__(self, fn: Callable, width: int):
+        self.fn = fn
+        self._cols = [array("q"), array("q")]
+        self._cols.extend(array("d") for _ in range(width))
+
+    def append(self, src, dst, params: tuple) -> None:
+        for k, value in enumerate((src, dst) + params):
+            col = self._cols[k]
+            try:
+                col.append(value)
+            except (TypeError, OverflowError):
+                demoted = list(col)
+                demoted.append(value)
+                self._cols[k] = demoted
+
+    def __len__(self) -> int:
+        return len(self._cols[0])
+
+    @property
+    def srcs(self):
+        return self._cols[0]
+
+    @property
+    def dsts(self):
+        return self._cols[1]
+
+    @property
+    def param_cols(self) -> tuple:
+        return tuple(self._cols[2:])
 
 
 def _scalar(values: tuple):
@@ -132,6 +187,7 @@ def compile_plan(
     out_edges: dict = {}
     keys: set = set(initial) | set(constants)
     fprime_fns = []
+    edge_columns: list[EdgeColumns] = []
     for spec in analysis.recursions:
         recursion_var = spec.recursion_var
         param_names = spec.fprime_params
@@ -170,13 +226,23 @@ def compile_plan(
                     position = spec.source_keys.index(name)
                     broadcast_values[name].add(key_tuple[position])
 
-        def emit(binding: dict, spec=spec, fn=fn, param_names=param_names) -> None:
+        columns = EdgeColumns(fn, len(param_names))
+        edge_columns.append(columns)
+
+        def emit(
+            binding: dict,
+            spec=spec,
+            fn=fn,
+            param_names=param_names,
+            columns=columns,
+        ) -> None:
             src = _scalar(tuple(binding[name] for name in spec.source_keys))
             dst = _scalar(tuple(binding[name] for name in analysis.key_vars))
             params = tuple(binding[name] for name in param_names)
             out_edges.setdefault(src, []).append((dst, params, fn))
             keys.add(src)
             keys.add(dst)
+            columns.append(src, dst, params)
 
         for binding in iter_bindings(
             list(spec.join_atoms) + join_comparisons,
@@ -207,4 +273,5 @@ def compile_plan(
         initial=initial,
         constants=constants,
         termination=termination or TerminationSpec.from_analysis(analysis),
+        edge_columns=tuple(edge_columns),
     )

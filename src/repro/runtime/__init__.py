@@ -20,9 +20,12 @@ from repro.runtime.base import (
 from repro.runtime.compat import HAVE_NUMPY, NUMPY_INSTALL_HINT, numpy_version
 from repro.runtime.python_kernel import PythonKernel
 
-# NumpyKernel registers itself on import; the module itself imports fine
-# without numpy installed (construction raises KernelUnavailableError).
+# NumpyKernel/SparseKernel register themselves on import; the modules
+# import fine without numpy installed (construction raises
+# KernelUnavailableError).  JitKernel additionally needs numba.
 from repro.runtime.numpy_kernel import NumpyKernel
+from repro.runtime.sparse_kernel import SparseKernel
+from repro.runtime.jit_kernel import JitKernel
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -30,11 +33,13 @@ __all__ = [
     "KERNELS",
     "BatchResult",
     "HAVE_NUMPY",
+    "JitKernel",
     "Kernel",
     "KernelUnavailableError",
     "NUMPY_INSTALL_HINT",
     "NumpyKernel",
     "PythonKernel",
+    "SparseKernel",
     "available_backends",
     "get_kernel",
     "numpy_version",

@@ -88,6 +88,9 @@ class Kernel:
 
     backend = "abstract"
 
+    #: shown by :func:`get_kernel` when the backend cannot run here
+    install_hint = NUMPY_INSTALL_HINT
+
     # -- construction -----------------------------------------------------------
     @classmethod
     def from_plan(
@@ -103,6 +106,22 @@ class Kernel:
     @classmethod
     def available(cls) -> bool:
         return True
+
+    # -- ΔX¹ (section 3.3) ------------------------------------------------------
+    @classmethod
+    def initial_delta(cls, plan) -> dict:
+        """``ΔX¹`` such that ``X¹ = G(ΔX¹ ∪ X⁰)`` (section 3.3).
+
+        The reference implementation lives in
+        :func:`repro.engine.mra.compute_initial_delta`; backends may
+        override with a fused equivalent but must return the *same dict
+        in the same key order* -- insertion order is observable through
+        the pending column (async batch selection, delta-stepping
+        takes), so this is part of the bit-exactness contract.
+        """
+        from repro.engine.mra import compute_initial_delta
+
+        return compute_initial_delta(plan)
 
     # -- MonoTable protocol (Figure 7) ------------------------------------------
     def push(self, key, value) -> None:
@@ -214,6 +233,15 @@ class Kernel:
         """Remove and return pending entries with value <= threshold."""
         raise NotImplementedError
 
+    def enable_delta_stepping(self, width: float) -> None:
+        """Hint that the engine will drive bucketed delta-stepping.
+
+        Engines running in ``delta_stepping`` mode call this once per
+        kernel so backends that keep bucket structures (the sparse
+        kernel) can size them; the default is a no-op because the
+        contract methods above already express the protocol.
+        """
+
     def result(self) -> dict:
         raise NotImplementedError
 
@@ -278,7 +306,7 @@ def get_kernel(backend: Optional[str] = None) -> type:
     cls = KERNELS[name]
     if not cls.available():
         raise KernelUnavailableError(
-            f"backend {name!r} is not available: {NUMPY_INSTALL_HINT}"
+            f"backend {name!r} is not available: {cls.install_hint}"
         )
     return cls
 

@@ -60,6 +60,12 @@ class _FnGroup:
             ]
         except (TypeError, ValueError):
             return  # non-numeric parameters: per-edge fallback
+        self._probe(cols)
+
+    def _probe(self, cols) -> None:
+        """Accept ``cols`` as packed parameter columns if F' vectorises."""
+        fn = self.fn
+        param_rows = self.raw_params
         probe_n = min(len(param_rows), 3)
         xs = np.asarray([1.0, 2.0, 0.5][:probe_n], dtype=np.float64)
         try:
@@ -149,17 +155,18 @@ class _PlanCSR:
 
     def apply_edges(self, eids, x_per_edge):
         """Evaluate F' for the given flat edge ids; (dsts, values)."""
+        if len(self.groups) == 1:
+            # single recursion body: efn is uniform, skip the mask pass
+            vals = self.groups[0].apply(x_per_edge, self.erow[eids])
+            return self.edst[eids], vals.astype(np.float64, copy=False)
         vals = np.empty(len(eids), dtype=np.float64)
         fids = self.efn[eids]
-        if len(self.groups) == 1:
-            vals[:] = self.groups[0].apply(x_per_edge, self.erow[eids])
-        else:
-            for fid, group in enumerate(self.groups):
-                mask = fids == fid
-                if mask.any():
-                    vals[mask] = group.apply(
-                        x_per_edge[mask], self.erow[eids[mask]]
-                    )
+        for fid, group in enumerate(self.groups):
+            mask = fids == fid
+            if mask.any():
+                vals[mask] = group.apply(
+                    x_per_edge[mask], self.erow[eids[mask]]
+                )
         return self.edst[eids], vals
 
 

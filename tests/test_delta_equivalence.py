@@ -7,7 +7,7 @@ mutated graph -- not close, identical.  The suite drives that oracle
 comparison three ways:
 
 * a deterministic sweep over every RA32x-eligible registry program, on
-  both kernel backends, through seeded insert-only and mixed
+  every registered kernel backend, through seeded insert-only and mixed
   insert/delete delta streams;
 * hypothesis property tests that randomise the base graph and the delta
   stream, so the claim does not quietly specialise to the fixtures;
@@ -29,7 +29,7 @@ from repro.engine import MRAEvaluator
 from repro.graphs import random_dag, rmat
 from repro.obs import Observability
 from repro.programs import PROGRAMS
-from repro.runtime import HAVE_NUMPY
+from repro.runtime import HAVE_NUMPY, available_backends
 
 #: selective-aggregate programs: deletions re-derive (RA320)
 SELECTIVE = ("sssp", "cc", "viterbi")
@@ -37,7 +37,9 @@ SELECTIVE = ("sssp", "cc", "viterbi")
 ADDITIVE = ("dag_paths",)
 ELIGIBLE = SELECTIVE + ADDITIVE
 
-BACKENDS = ("python", "numpy") if HAVE_NUMPY else ("python",)
+#: every registered backend (python, numpy, sparse, jit when numba is
+#: installed): the repair paths must be exact on all of them
+BACKENDS = tuple(available_backends())
 
 #: programs compiled over DAGs must stay acyclic under inserts
 ACYCLIC = ("viterbi", "dag_paths", "cost")
@@ -100,17 +102,18 @@ def test_mixed_stream_matches_oracle(program, backend):
         assert engine.values == oracle(program, engine.view.graph, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", SELECTIVE)
-def test_weight_updates_match_oracle(program):
+def test_weight_updates_match_oracle(program, backend):
     graph = base_graph(program)
-    engine = IncrementalEngine(program, graph)
+    engine = IncrementalEngine(program, graph, backend=backend)
     engine.bootstrap()
     for step in range(3):
         delta = random_delta(
             engine.view.graph, seed=23 + step, update_weights=4
         )
         engine.apply(delta)
-        assert engine.values == oracle(program, engine.view.graph, "python")
+        assert engine.values == oracle(program, engine.view.graph, backend)
 
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not installed")
@@ -119,7 +122,7 @@ def test_backends_agree_after_repairs(program):
     graph = base_graph(program)
     engines = {
         backend: IncrementalEngine(program, base_graph(program), backend=backend)
-        for backend in ("python", "numpy")
+        for backend in BACKENDS
     }
     for engine in engines.values():
         engine.bootstrap()
@@ -128,8 +131,10 @@ def test_backends_agree_after_repairs(program):
             backend: engine.apply(delta)
             for backend, engine in engines.items()
         }
-        assert results["python"].strategy == results["numpy"].strategy
-        assert engines["python"].values == engines["numpy"].values
+        reference = results["python"]
+        for backend, repair in results.items():
+            assert repair.strategy == reference.strategy, backend
+            assert engines[backend].values == engines["python"].values
 
 
 # -- hypothesis properties ----------------------------------------------------
@@ -187,10 +192,13 @@ def test_property_deletion_rederive_is_exact(graph_seed, delta_seed, program):
     graph_seed=st.integers(min_value=0, max_value=10**6),
     delta_seed=st.integers(min_value=0, max_value=10**6),
     program=st.sampled_from(ELIGIBLE),
+    backend=st.sampled_from([b for b in BACKENDS if b != "python"] or ["python"]),
 )
-def test_property_numpy_backend_is_exact(graph_seed, delta_seed, program):
+def test_property_vectorized_backends_are_exact(
+    graph_seed, delta_seed, program, backend
+):
     graph = base_graph(program, seed=graph_seed)
-    engine = IncrementalEngine(program, graph, backend="numpy")
+    engine = IncrementalEngine(program, graph, backend=backend)
     engine.bootstrap()
     delta = random_delta(
         graph,
@@ -199,7 +207,7 @@ def test_property_numpy_backend_is_exact(graph_seed, delta_seed, program):
         acyclic=program in ACYCLIC,
     )
     engine.apply(delta)
-    assert engine.values == oracle(program, engine.view.graph, "numpy")
+    assert engine.values == oracle(program, engine.view.graph, backend)
 
 
 # -- work accounting (the acceptance criterion) -------------------------------

@@ -1,14 +1,14 @@
-"""Cross-backend equivalence: NumPy kernel == pure-Python kernel, bit for bit.
+"""Cross-backend equivalence: every backend == pure-Python kernel, bit for bit.
 
-The vectorized backend is not allowed to be "close": every registry
-program must reach the *identical* fixpoint with *identical* work
-counters on both backends, on the single-node MRA evaluator and on the
-distributed engines (where the simulated clock must agree too, since
-``BatchResult.ops`` prices compute time).  Under a seeded fault
-schedule the recovery path must also behave identically --
-``EvalResult.faults`` and all.
+The vectorized backends (numpy, sparse, jit when numba is installed)
+are not allowed to be "close": every registry program must reach the
+*identical* fixpoint with *identical* work counters on every backend,
+on the single-node MRA evaluator and on the distributed engines (where
+the simulated clock must agree too, since ``BatchResult.ops`` prices
+compute time).  Under a seeded fault schedule the recovery path must
+also behave identically -- ``EvalResult.faults`` and all.
 
-The property-based section drives both kernels over random graphs so
+The property-based section drives the kernels over random graphs so
 the equivalence claim does not quietly specialise to the fixture
 graphs.
 """
@@ -24,7 +24,7 @@ from repro.distributed.sync_engine import SyncEngine
 from repro.engine import MRAEvaluator
 from repro.graphs import random_dag, rmat
 from repro.programs import PROGRAMS
-from repro.runtime import HAVE_NUMPY
+from repro.runtime import HAVE_NUMPY, available_backends
 
 pytestmark = pytest.mark.skipif(
     not HAVE_NUMPY, reason="numpy backend not installed"
@@ -32,68 +32,95 @@ pytestmark = pytest.mark.skipif(
 
 ALL_PROGRAMS = sorted(PROGRAMS)
 
+#: every available backend measured against the python reference
+BACKENDS = [b for b in available_backends() if b != "python"]
+
 #: engines exercised per program in the distributed sweep; naive mode
 #: rides along on two programs (it routes whole-table sweeps, not deltas)
 DISTRIBUTED_PROGRAMS = ("sssp", "cc", "pagerank", "katz", "viterbi", "dag_paths")
 
+#: selective-aggregate programs run under sync delta-stepping too (the
+#: sparse backend's bucket structure must not change a single bit)
+DELTA_STEP_PROGRAMS = ("sssp", "cc", "viterbi")
 
-def _assert_identical(python_result, numpy_result, *, clock: bool = True):
-    assert numpy_result.backend == "numpy"
-    assert python_result.values == numpy_result.values
-    assert python_result.stop_reason == numpy_result.stop_reason
-    assert python_result.counters.snapshot() == numpy_result.counters.snapshot()
+
+def _assert_identical(python_result, other_result, backend, *, clock: bool = True):
+    assert other_result.backend == backend
+    assert python_result.values == other_result.values
+    assert python_result.stop_reason == other_result.stop_reason
+    assert python_result.counters.snapshot() == other_result.counters.snapshot()
     if clock:
-        assert python_result.simulated_seconds == numpy_result.simulated_seconds
+        assert python_result.simulated_seconds == other_result.simulated_seconds
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", ALL_PROGRAMS)
-def test_mra_fixpoint_identical(program):
+def test_mra_fixpoint_identical(program, backend):
     spec = PROGRAMS[program]
     graph = default_graph(program, seed=7)
     python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
-    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
-    _assert_identical(python_result, numpy_result, clock=False)
-    assert python_result.counters.iterations == numpy_result.counters.iterations
+    other_result = MRAEvaluator(spec.plan(graph), backend=backend).run()
+    _assert_identical(python_result, other_result, backend, clock=False)
+    assert python_result.counters.iterations == other_result.counters.iterations
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", DISTRIBUTED_PROGRAMS)
-def test_sync_engine_identical(program):
+def test_sync_engine_identical(program, backend):
     spec = PROGRAMS[program]
     graph = default_graph(program, seed=7)
     cluster = ClusterConfig(num_workers=4)
     python_result = SyncEngine(spec.plan(graph), cluster, backend="python").run()
-    numpy_result = SyncEngine(spec.plan(graph), cluster, backend="numpy").run()
-    _assert_identical(python_result, numpy_result)
+    other_result = SyncEngine(spec.plan(graph), cluster, backend=backend).run()
+    _assert_identical(python_result, other_result, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("program", DELTA_STEP_PROGRAMS)
+def test_sync_delta_stepping_identical(program, backend):
+    spec = PROGRAMS[program]
+    graph = default_graph(program, seed=7)
+    cluster = ClusterConfig(num_workers=4)
+    python_result = SyncEngine(
+        spec.plan(graph), cluster, delta_stepping=True, backend="python"
+    ).run()
+    other_result = SyncEngine(
+        spec.plan(graph), cluster, delta_stepping=True, backend=backend
+    ).run()
+    _assert_identical(python_result, other_result, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", DISTRIBUTED_PROGRAMS)
-def test_async_engine_identical(program):
+def test_async_engine_identical(program, backend):
     spec = PROGRAMS[program]
     graph = default_graph(program, seed=7)
     cluster = ClusterConfig(num_workers=4)
     python_result = AsyncEngine(spec.plan(graph), cluster, backend="python").run()
-    numpy_result = AsyncEngine(spec.plan(graph), cluster, backend="numpy").run()
-    _assert_identical(python_result, numpy_result)
+    other_result = AsyncEngine(spec.plan(graph), cluster, backend=backend).run()
+    _assert_identical(python_result, other_result, backend)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", ("sssp", "pagerank"))
-def test_naive_mode_identical(program):
+def test_naive_mode_identical(program, backend):
     spec = PROGRAMS[program]
     graph = default_graph(program, seed=7)
     cluster = ClusterConfig(num_workers=4)
     python_result = SyncEngine(
         spec.plan(graph), cluster, mode="naive", backend="python"
     ).run()
-    numpy_result = SyncEngine(
-        spec.plan(graph), cluster, mode="naive", backend="numpy"
+    other_result = SyncEngine(
+        spec.plan(graph), cluster, mode="naive", backend=backend
     ).run()
-    _assert_identical(python_result, numpy_result)
+    _assert_identical(python_result, other_result, backend)
 
 
 @pytest.mark.chaos
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("program", ("sssp", "pagerank", "dag_paths"))
 @pytest.mark.parametrize("engine_cls", (SyncEngine, AsyncEngine))
-def test_chaos_recovery_identical(program, engine_cls, tmp_path):
+def test_chaos_recovery_identical(program, engine_cls, backend, tmp_path):
     """Same seeded fault schedule => same crashes, replays and fixpoint."""
     from repro.distributed.fault import Checkpointer
 
@@ -105,22 +132,22 @@ def test_chaos_recovery_identical(program, engine_cls, tmp_path):
     chaotic_cluster = cluster.with_faults(schedule)
 
     results = {}
-    for backend in ("python", "numpy"):
+    for leg in ("python", backend):
         kwargs = dict(
-            backend=backend,
-            checkpointer=Checkpointer(tmp_path / backend),
-            run_name=f"chaos-{backend}",
+            backend=leg,
+            checkpointer=Checkpointer(tmp_path / leg),
+            run_name=f"chaos-{leg}",
         )
         if engine_cls is SyncEngine:
             kwargs["checkpoint_every"] = 4
-        results[backend] = engine_cls(
+        results[leg] = engine_cls(
             spec.plan(graph), chaotic_cluster, **kwargs
         ).run()
 
-    python_result, numpy_result = results["python"], results["numpy"]
-    _assert_identical(python_result, numpy_result)
+    python_result, other_result = results["python"], results[backend]
+    _assert_identical(python_result, other_result, backend)
     assert python_result.faults is not None
-    assert python_result.faults.snapshot() == numpy_result.faults.snapshot()
+    assert python_result.faults.snapshot() == other_result.faults.snapshot()
     # the schedule really fired -- the equality above is not vacuous
     assert sum(python_result.faults.snapshot().values()) > 0
 
@@ -135,45 +162,72 @@ DAG_ONLY = ("dag_paths", "cost", "viterbi")
 
 @settings(max_examples=12, deadline=None)
 @given(
+    backend=st.sampled_from(BACKENDS),
     program=st.sampled_from(CYCLIC_SAFE),
     num_vertices=st.integers(min_value=8, max_value=90),
     density=st.integers(min_value=2, max_value=6),
     seed=st.integers(min_value=0, max_value=2**16),
 )
-def test_property_random_graphs_mra(program, num_vertices, density, seed):
+def test_property_random_graphs_mra(program, num_vertices, density, seed, backend):
     graph = rmat(num_vertices, num_vertices * density, seed=seed, name="hyp")
     spec = PROGRAMS[program]
     python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
-    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
-    _assert_identical(python_result, numpy_result, clock=False)
+    other_result = MRAEvaluator(spec.plan(graph), backend=backend).run()
+    _assert_identical(python_result, other_result, backend, clock=False)
 
 
 @settings(max_examples=8, deadline=None)
 @given(
+    backend=st.sampled_from(BACKENDS),
     program=st.sampled_from(DAG_ONLY),
     num_vertices=st.integers(min_value=8, max_value=70),
     density=st.integers(min_value=2, max_value=4),
     seed=st.integers(min_value=0, max_value=2**16),
 )
-def test_property_random_dags_mra(program, num_vertices, density, seed):
+def test_property_random_dags_mra(program, num_vertices, density, seed, backend):
     graph = random_dag(num_vertices, num_vertices * density, seed=seed, name="hyp-dag")
     spec = PROGRAMS[program]
     python_result = MRAEvaluator(spec.plan(graph), backend="python").run()
-    numpy_result = MRAEvaluator(spec.plan(graph), backend="numpy").run()
-    _assert_identical(python_result, numpy_result, clock=False)
+    other_result = MRAEvaluator(spec.plan(graph), backend=backend).run()
+    _assert_identical(python_result, other_result, backend, clock=False)
 
 
 @settings(max_examples=6, deadline=None)
 @given(
+    backend=st.sampled_from(BACKENDS),
     program=st.sampled_from(("sssp", "pagerank")),
     num_vertices=st.integers(min_value=8, max_value=60),
     seed=st.integers(min_value=0, max_value=2**16),
     workers=st.integers(min_value=1, max_value=6),
 )
-def test_property_random_graphs_distributed(program, num_vertices, seed, workers):
+def test_property_random_graphs_distributed(program, num_vertices, seed, workers, backend):
     graph = rmat(num_vertices, num_vertices * 4, seed=seed, name="hyp-dist")
     spec = PROGRAMS[program]
     cluster = ClusterConfig(num_workers=workers)
     python_result = SyncEngine(spec.plan(graph), cluster, backend="python").run()
-    numpy_result = SyncEngine(spec.plan(graph), cluster, backend="numpy").run()
-    _assert_identical(python_result, numpy_result)
+    other_result = SyncEngine(spec.plan(graph), cluster, backend=backend).run()
+    _assert_identical(python_result, other_result, backend)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    backend=st.sampled_from(BACKENDS),
+    program=st.sampled_from(("sssp", "cc")),
+    num_vertices=st.integers(min_value=8, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+    width=st.floats(min_value=0.5, max_value=40.0),
+)
+def test_property_delta_stepping_buckets(program, num_vertices, seed, width, backend):
+    """Bucketed takes agree with the reference for arbitrary widths."""
+    graph = rmat(num_vertices, num_vertices * 3, seed=seed, name="hyp-bucket")
+    spec = PROGRAMS[program]
+    cluster = ClusterConfig(num_workers=3)
+    python_result = SyncEngine(
+        spec.plan(graph), cluster, delta_stepping=True, delta_width=width,
+        backend="python",
+    ).run()
+    other_result = SyncEngine(
+        spec.plan(graph), cluster, delta_stepping=True, delta_width=width,
+        backend=backend,
+    ).run()
+    _assert_identical(python_result, other_result, backend)

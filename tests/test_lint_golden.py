@@ -146,3 +146,44 @@ class TestIncrementalCodes:
         # must say so, not just "none"
         verdict, _ = self.verdict_of(capsys, "simrank")
         assert "epsilon" in verdict["detail"]
+
+
+class TestFrontierCodes:
+    """RA33x sparse-frontier scheduling verdicts per registry program.
+
+    The sparse backend's bucketed delta-stepping is only offered where
+    the RA330 verdict holds; everything else runs frontier compaction
+    without value buckets.  The mapping is a contract with the engine
+    layer's refusal path, so it is pinned here.
+    """
+
+    #: selective idempotent fixpoints: value buckets are exact
+    DELTA_STEPPING = {"sssp", "cc", "viterbi", "lca", "apsp"}
+
+    def verdict_of(self, capsys, name):
+        _, payload = lint_json(capsys, name)
+        return payload["frontier"], {
+            d["code"] for d in payload["diagnostics"]
+        }
+
+    @pytest.mark.parametrize("name", sorted(DELTA_STEPPING))
+    def test_selective_programs_are_ra330(self, capsys, name):
+        verdict, codes = self.verdict_of(capsys, name)
+        assert "RA330" in codes
+        assert verdict["mode"] == "delta-stepping"
+        assert verdict["delta_stepping"]
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(PROGRAMS) - DELTA_STEPPING)
+    )
+    def test_everything_else_is_ra331(self, capsys, name):
+        verdict, codes = self.verdict_of(capsys, name)
+        assert "RA331" in codes
+        assert verdict["mode"] == "compaction-only"
+        assert not verdict["delta_stepping"]
+
+    def test_non_idempotent_aggregate_is_called_out(self, capsys):
+        # pagerank's sum fold is order-sensitive under bucketing; the
+        # detail must explain the refusal, not just name the mode
+        verdict, _ = self.verdict_of(capsys, "pagerank")
+        assert "idempotent" in verdict["detail"]

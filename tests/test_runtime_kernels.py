@@ -73,8 +73,24 @@ class TestBackendResolution:
         with pytest.raises(ValueError, match="unknown backend"):
             resolve_backend("cuda")
 
-    def test_registry_has_both_kernels(self):
-        assert set(KERNELS) == {"python", "numpy"}
+    def test_registry_has_all_kernels(self):
+        assert set(KERNELS) == {"python", "numpy", "sparse", "jit"}
+
+    def test_sparse_available_with_numpy(self):
+        if HAVE_NUMPY:
+            assert "sparse" in available_backends()
+        else:
+            assert "sparse" not in available_backends()
+
+    def test_jit_gated_on_numba(self):
+        from repro.runtime.compat import HAVE_NUMBA
+
+        if HAVE_NUMBA and HAVE_NUMPY:
+            assert "jit" in available_backends()
+        else:
+            assert "jit" not in available_backends()
+            with pytest.raises(KernelUnavailableError, match="repro\\[jit\\]"):
+                get_kernel("jit")
 
     def test_engines_resolve_env_backend(self, plan, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "python")
@@ -102,6 +118,12 @@ class TestOptionalNumpy:
 
     def test_install_hint_names_the_extra(self):
         assert "repro[fast]" in NUMPY_INSTALL_HINT
+
+    def test_jit_install_hint_names_the_extra(self):
+        from repro.runtime.compat import NUMBA_INSTALL_HINT
+
+        assert "repro[jit]" in NUMBA_INSTALL_HINT
+        assert KERNELS["jit"].install_hint == NUMBA_INSTALL_HINT
 
 
 class TestKernelContract:

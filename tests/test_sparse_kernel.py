@@ -1,0 +1,262 @@
+"""Unit coverage for the sparse-frontier kernel's internal structures.
+
+The equivalence suite (``test_kernel_equivalence``) proves end-to-end
+bit-exactness across engines; this module pins the mechanisms that
+exactness rests on, one by one: columnar edge storage on the compiled
+plan, the fast CSR packer producing *content-identical* structures to
+the reference per-edge walk, the fused initial-delta path (values and
+dict insertion order), batch-push order equivalence against repeated
+scalar pushes, and the delta-stepping bucket invariants.
+"""
+
+import pytest
+
+from repro.distributed.chaos_harness import default_graph
+from repro.engine.mra import compute_initial_delta
+from repro.engine.plan import EdgeColumns
+from repro.programs import PROGRAMS
+from repro.runtime import HAVE_NUMPY, get_kernel
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy backend not installed"
+)
+
+ALL_PROGRAMS = sorted(PROGRAMS)
+
+
+def plan_for(program: str, seed: int = 7):
+    return PROGRAMS[program].plan(default_graph(program, seed=seed))
+
+
+class TestEdgeColumns:
+    """Columnar edge storage built during plan compilation."""
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_every_compiled_plan_carries_columns(self, program):
+        plan = plan_for(program)
+        assert plan.edge_columns is not None
+        assert len(plan.edge_columns) == len(plan.fprime_fns)
+        total = sum(len(columns) for columns in plan.edge_columns)
+        assert total == plan.num_edges
+
+    def test_columns_match_out_edges_content(self):
+        plan = plan_for("sssp")
+        (columns,) = plan.edge_columns
+        walked = []
+        for src in sorted(plan.out_edges):
+            for dst, params, _fn in plan.out_edges[src]:
+                walked.append((src, dst, params))
+        stored = sorted(
+            (
+                columns.srcs[j],
+                columns.dsts[j],
+                tuple(col[j] for col in columns.param_cols),
+            )
+            for j in range(len(columns))
+        )
+        assert stored == sorted(walked)
+
+    def test_int_keys_use_typed_storage(self):
+        from array import array
+
+        plan = plan_for("sssp")
+        (columns,) = plan.edge_columns
+        assert isinstance(columns.srcs, array)
+        assert isinstance(columns.dsts, array)
+        for col in columns.param_cols:
+            assert isinstance(col, array)
+
+    def test_tuple_keys_demote_to_lists(self):
+        # apsp keys are (source, vertex) pairs: array('q') cannot hold
+        # them, so the key columns demote while parameters stay typed
+        plan = plan_for("apsp")
+        (columns,) = plan.edge_columns
+        assert isinstance(columns.srcs, list)
+        assert isinstance(columns.dsts, list)
+
+    def test_demotion_preserves_earlier_values(self):
+        columns = EdgeColumns(fn=lambda x, w: x + w, width=1)
+        columns.append(0, 1, (2.5,))
+        columns.append((7, 8), 2, (3.5,))
+        assert list(columns.srcs) == [0, (7, 8)]
+        assert list(columns.dsts) == [1, 2]
+        assert list(columns.param_cols[0]) == [2.5, 3.5]
+        assert len(columns) == 2
+
+
+class TestFastCSR:
+    """The fast packer's CSR == the reference per-edge walk's, exactly."""
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_content_identical_to_reference(self, program):
+        import numpy as np
+
+        from repro.runtime.numpy_kernel import _PlanCSR, plan_key_order
+        from repro.runtime.sparse_kernel import fast_plan_csr
+
+        fast = fast_plan_csr(plan_for(program))
+        reference_plan = plan_for(program)
+        plan_key_order(reference_plan)
+        reference = _PlanCSR(reference_plan)
+
+        assert fast.n == reference.n
+        assert fast.keys_sorted == reference.keys_sorted
+        assert np.array_equal(fast.indptr, reference.indptr)
+        assert np.array_equal(fast.edst, reference.edst)
+        assert np.array_equal(fast.efn, reference.efn)
+        assert np.array_equal(fast.erow, reference.erow)
+        assert len(fast.groups) == len(reference.groups)
+        for fast_group, ref_group in zip(fast.groups, reference.groups):
+            assert fast_group.vector_ok == ref_group.vector_ok
+            assert len(fast_group.raw_params) == len(ref_group.raw_params)
+            for j in range(len(ref_group.raw_params)):
+                assert tuple(fast_group.raw_params[j]) == tuple(
+                    ref_group.raw_params[j]
+                )
+            if ref_group.cols is not None:
+                for fast_col, ref_col in zip(
+                    fast_group.cols, ref_group.cols
+                ):
+                    assert np.array_equal(fast_col, ref_col)
+
+    def test_cached_on_the_plan_and_shared(self):
+        from repro.runtime.sparse_kernel import fast_plan_csr
+        from repro.runtime.numpy_kernel import plan_csr
+
+        plan = plan_for("sssp")
+        csr = fast_plan_csr(plan)
+        assert fast_plan_csr(plan) is csr
+        # the numpy kernel's packer reuses the same cache slot
+        assert plan_csr(plan) is csr
+
+    def test_hand_built_plans_fall_back(self):
+        from repro.runtime.sparse_kernel import fast_plan_csr
+
+        plan = plan_for("sssp")
+        object.__setattr__(plan, "edge_columns", None)
+        csr = fast_plan_csr(plan)
+        assert csr.n == len(plan._kernel_keys_sorted)
+
+
+class TestInitialDelta:
+    """The fused ΔX¹ equals the section-3.3 reference, order included."""
+
+    @pytest.mark.parametrize("program", ALL_PROGRAMS)
+    def test_values_and_insertion_order(self, program):
+        plan = plan_for(program)
+        sparse_cls = get_kernel("sparse")
+        fused = sparse_cls.initial_delta(plan)
+        reference = compute_initial_delta(plan)
+        assert fused == reference
+        # dict insertion order is observable state downstream (push
+        # order seeds arrival sequences); it must match too
+        assert list(fused) == list(reference)
+
+    @pytest.mark.parametrize("seed", (1, 2, 3, 11))
+    def test_order_stable_across_seeds(self, seed):
+        plan = plan_for("cc", seed=seed)
+        fused = get_kernel("sparse").initial_delta(plan)
+        reference = compute_initial_delta(plan)
+        assert list(fused.items()) == list(reference.items())
+
+
+class TestPushMany:
+    """Batch seeding == repeated scalar pushes, bit for bit."""
+
+    def _pair_batch(self, plan, count):
+        keys = sorted(plan.initial)
+        batch = []
+        for j in range(count):
+            key = keys[j % len(keys)]
+            batch.append((key, float(5 + (j * 7) % 13)))
+        return batch
+
+    @pytest.mark.parametrize("count", (3, 40))
+    def test_matches_scalar_pushes(self, count):
+        plan = plan_for("sssp")
+        sparse_cls = get_kernel("sparse")
+        batch = self._pair_batch(plan, count)
+
+        batched = sparse_cls.from_plan(plan)
+        batched.push_many(batch)
+        scalar = sparse_cls.from_plan(plan)
+        for key, value in batch:
+            scalar.push(key, value)
+
+        assert batched.intermediate == scalar.intermediate
+        assert list(batched.intermediate) == list(scalar.intermediate)
+        assert batched.pending_count() == scalar.pending_count()
+        assert (
+            batched.counters.snapshot() == scalar.counters.snapshot()
+        )
+
+    def test_matches_python_backend(self):
+        plan = plan_for("sssp")
+        batch = self._pair_batch(plan, 40)
+        kernels = {}
+        for backend in ("python", "sparse"):
+            kernel = get_kernel(backend).from_plan(plan)
+            kernel.push_many(batch)
+            kernels[backend] = kernel
+        assert (
+            kernels["sparse"].intermediate
+            == kernels["python"].intermediate
+        )
+        assert list(kernels["sparse"].intermediate) == list(
+            kernels["python"].intermediate
+        )
+
+    def test_batched_then_stepped_reaches_reference_fixpoint(self):
+        from repro.engine import MRAEvaluator
+
+        plan = plan_for("sssp")
+        kernel = get_kernel("sparse").from_plan(plan)
+        kernel.push_many(compute_initial_delta(plan).items())
+        for _ in range(10_000):
+            if not kernel.step().changed and not kernel.has_pending():
+                break
+        reference = MRAEvaluator(plan_for("sssp"), backend="python").run()
+        assert kernel.result() == reference.values
+
+
+class TestBuckets:
+    """Delta-stepping buckets agree with the scan-everything reference."""
+
+    @pytest.mark.parametrize("width", (0.5, 2.0, 7.0))
+    @pytest.mark.parametrize("program", ("sssp", "cc"))
+    def test_bucketed_drain_matches_python(self, program, width):
+        plan = plan_for(program)
+        kernels = {}
+        for backend in ("python", "sparse"):
+            kernel = get_kernel(backend).from_plan(plan)
+            kernel.enable_delta_stepping(width)
+            kernel.push_many(compute_initial_delta(plan).items())
+            kernels[backend] = kernel
+
+        rounds = 0
+        while kernels["python"].has_pending():
+            assert kernels["sparse"].has_pending()
+            floor = kernels["python"].pending_min()
+            assert kernels["sparse"].pending_min() == floor
+            threshold = floor + width
+            taken = {
+                backend: kernel.take_pending_below(threshold)
+                for backend, kernel in kernels.items()
+            }
+            assert taken["sparse"] == taken["python"]
+            assert list(taken["sparse"]) == list(taken["python"])
+            for backend, kernel in kernels.items():
+                result = kernel.apply_batch(taken[backend])
+                kernel.push_many(result.out_deltas.items())
+            rounds += 1
+            assert rounds < 10_000
+        assert not kernels["sparse"].has_pending()
+        assert kernels["sparse"].result() == kernels["python"].result()
+
+    def test_reenabling_buckets_reindexes_pending(self):
+        plan = plan_for("sssp")
+        kernel = get_kernel("sparse").from_plan(plan)
+        kernel.push_many(compute_initial_delta(plan).items())
+        before_min = kernel.pending_min()
+        kernel.enable_delta_stepping(1.5)
+        assert kernel.pending_min() == before_min
