@@ -21,6 +21,7 @@ scale) is printed with the report so the regime boundary stays visible.
 
 from repro.bench.kernels import (
     DENSE_PROGRAMS,
+    SEMIRING_PROGRAMS,
     SPARSE_FLOOR,
     SPARSE_FLOOR_SCALE,
     SPARSE_PROGRAMS,
@@ -68,11 +69,29 @@ def test_kernel_backends(benchmark, bench_scale, save_report):
             f"{program}: numpy kernel only {report.speedups[program]:.1f}x "
             f"over python (floor {SPEEDUP_FLOOR:.0f}x)"
         )
-    # the crossover table covers every (program, scale) pair
-    scales = sorted({row["scale"] for row in report.rows})
+    # the crossover table covers every dataset (program, scale) pair
+    # (semiring rows run on fixture graphs and carry no crossover)
+    scales = sorted(
+        {
+            row["scale"]
+            for row in report.rows
+            if row["program"] in (*DENSE_PROGRAMS, *SPARSE_PROGRAMS)
+        }
+    )
     for program in (*DENSE_PROGRAMS, *SPARSE_PROGRAMS):
         for scale in scales:
             assert f"{program}@{scale}" in report.crossover
+    # the four semiring families each produced rows for every backend
+    # that supports their carrier; kpaths' KTuple rows must exclude the
+    # float64 backends
+    for program in SEMIRING_PROGRAMS:
+        row_backends = {
+            row["backend"] for row in report.rows if row["program"] == program
+        }
+        if program == "kpaths":
+            assert row_backends == {"python", "numpy"} & set(backends)
+        else:
+            assert row_backends == set(backends)
     if report.check_scale < SPARSE_FLOOR_SCALE:
         return  # smoke run: sparse floor only binds at the floor scale
     for program in SPARSE_PROGRAMS:

@@ -1,26 +1,55 @@
 """Aggregate operators for recursive aggregate programs.
 
-The paper (section 5.1) predefines five aggregate operators -- ``min``,
-``max``, ``sum``, ``count`` and ``mean`` -- of which the first four are
-commutative and associative (Property 1 of Theorem 1) while ``mean`` is
-not.  Each operator here carries everything the rest of the system needs:
+The aggregate core is organized around an explicit semiring interface
+(:mod:`repro.aggregates.semiring`): a :class:`Semiring` declares the
+algebra ``(⊕, ⊗, 0̄, 1̄)`` and its law flags (idempotent ``⊕``, natural
+order, ``⊗``-monotonicity, invertible ``⊕``), and each semiring-foldable
+:class:`Aggregate` is built from one -- ``min``/``max``/``sum`` are the
+tropical/arctic/counting instances rather than special cases, and
+``or``/``best``/``topk`` open the boolean, Viterbi and k-tropical
+families.  Each operator carries everything the rest of the system
+needs:
 
-* the binary combine function ``g`` and its identity element;
+* the binary combine function ``g`` (the semiring ``⊕``) and its
+  identity element ``0̄``;
 * the inverse ``G⁻`` used to determine the initial delta ``ΔX¹``
-  (section 3.3: ``min`` -> ``min``, ``sum`` -> pairwise subtraction);
+  (section 3.3: ``min`` -> ``min``, ``sum`` -> pairwise subtraction --
+  the latter exactly because counting's ``⊕`` is invertible);
 * algebraic metadata consumed by the condition checker (commutativity,
-  associativity, and the *kind* -- additive vs selective -- that selects
-  which Property-2 proof obligation applies to ``F'``);
-* runtime predicates used by the MonoTable engines (idempotence and
-  "does this delta improve the accumulated value").
+  associativity, and the *kind* -- additive vs selective -- derived
+  from the law flags, selecting which Property-2 proof obligation
+  applies to ``F'``);
+* runtime predicates used by the MonoTable engines (``⊕``-idempotence,
+  magnitude accounting, and the vectorization hints kernels dispatch
+  on).
+
+``mean`` remains the counterexample: its binary operator is not the
+``⊕`` of any semiring (associativity already fails), so it carries no
+semiring and fails Property 1.
 """
 
 from repro.aggregates.base import Aggregate, AggregateKind
+from repro.aggregates.semiring import (
+    ARCTIC,
+    BOOLEAN,
+    COUNTING,
+    KTROPICAL,
+    KTuple,
+    REGISTERED_SEMIRINGS,
+    Semiring,
+    TROPICAL,
+    VITERBI,
+    get_semiring,
+    register_semiring,
+)
 from repro.aggregates.builtin import (
     MIN,
     MAX,
     SUM,
     COUNT,
+    OR,
+    BEST,
+    TOPK,
     MEAN,
     BUILTIN_AGGREGATES,
     get_aggregate,
@@ -29,10 +58,24 @@ from repro.aggregates.builtin import (
 __all__ = [
     "Aggregate",
     "AggregateKind",
+    "Semiring",
+    "KTuple",
+    "TROPICAL",
+    "ARCTIC",
+    "COUNTING",
+    "BOOLEAN",
+    "VITERBI",
+    "KTROPICAL",
+    "REGISTERED_SEMIRINGS",
+    "get_semiring",
+    "register_semiring",
     "MIN",
     "MAX",
     "SUM",
     "COUNT",
+    "OR",
+    "BEST",
+    "TOPK",
     "MEAN",
     "BUILTIN_AGGREGATES",
     "get_aggregate",

@@ -1,22 +1,37 @@
-"""The aggregate operator protocol."""
+"""The aggregate operator protocol.
+
+An :class:`Aggregate` is the operational face of a declared
+:class:`~repro.aggregates.semiring.Semiring`: the semiring carries the
+algebra ``(⊕, ⊗, 0̄, 1̄)`` and its law flags, the aggregate adds the
+paper-facing pieces (``G⁻`` subtraction, the checker ``kind``) that the
+engines consume.  ``min``/``max``/``sum`` are instances of the tropical,
+arctic and counting semirings rather than special cases.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
+
+from repro.aggregates.semiring import Semiring
 
 
 class AggregateKind(enum.Enum):
     """Algebraic family of an aggregate, selecting checker obligations.
 
-    * ``ADDITIVE`` (``sum``, ``count``): Property 2 of Theorem 1 holds iff
-      ``F'`` is additive (linear homogeneous) in the recursion variable.
-    * ``SELECTIVE`` (``min``, ``max``): Property 2 holds iff ``F'`` is
-      monotone non-decreasing in the recursion variable, so that it
-      distributes over the selection.
-    * ``OTHER`` (``mean``): no structural shortcut; Property 1 itself
-      already fails, so such programs fall back to naive evaluation.
+    The kind is derivable from semiring law flags:
+
+    * ``SELECTIVE`` (``min``, ``max``, ``or``, ``topk``): ``⊕`` is
+      idempotent over a natural order, so Property 2 of Theorem 1 holds
+      iff ``F'`` is monotone non-decreasing (it distributes over the
+      selection).
+    * ``ADDITIVE`` (``sum``, ``count``): ``⊕`` is invertible, and
+      Property 2 holds iff ``F'`` is additive (linear homogeneous) in
+      the recursion variable.
+    * ``OTHER`` (``mean``): the operator is not the ``⊕`` of any
+      semiring (associativity already fails), so Property 1 fails and
+      such programs fall back to naive evaluation.
     """
 
     ADDITIVE = "additive"
@@ -24,14 +39,20 @@ class AggregateKind(enum.Enum):
     OTHER = "other"
 
 
+#: distinct from ``None`` so identity-free aggregates (``mean``) can
+#: still fold lazily without materializing their input twice.
+_EMPTY = object()
+
+
 @dataclass(frozen=True)
 class Aggregate:
     """A group-by aggregate operator ``G``.
 
-    ``combine`` is the binary ``g`` of the paper's Z3 encoding (Figure 4);
-    n-ary aggregation is derived from it by left folding, which is valid
-    exactly when the operator is associative -- the checker verifies this
-    before any engine relies on it.
+    ``combine`` is the binary ``g`` of the paper's Z3 encoding (Figure 4)
+    -- the semiring's ``⊕`` when one is declared; n-ary aggregation is
+    derived from it by left folding, which is valid exactly when the
+    operator is associative -- the checker verifies this before any
+    engine relies on it.
     """
 
     name: str
@@ -46,14 +67,88 @@ class Aggregate:
     #: Idempotent aggregates (min/max) allow the MonoTable engines to
     #: prune propagation of deltas that do not improve the accumulator.
     is_idempotent: bool = False
+    #: the declared algebra this aggregate is the ``⊕``-fold of;
+    #: ``None`` for operators (``mean``) that are not a semiring ``⊕``.
+    semiring: Optional[Semiring] = field(default=None, repr=False)
+
+    @classmethod
+    def from_semiring(
+        cls,
+        name: str,
+        semiring: Semiring,
+        subtract: Callable[[object, object], Optional[object]],
+        identity: Optional[object] = None,
+    ) -> "Aggregate":
+        """Build an aggregate as the ``⊕``-fold of a declared semiring.
+
+        The checker ``kind`` is *derived* from the law flags: idempotent
+        ``⊕`` over a natural order is selective, invertible ``⊕`` is
+        additive.
+        """
+        if semiring.plus_idempotent and semiring.naturally_ordered:
+            kind = AggregateKind.SELECTIVE
+        elif semiring.plus_invertible:
+            kind = AggregateKind.ADDITIVE
+        else:
+            kind = AggregateKind.OTHER
+        return cls(
+            name=name,
+            kind=kind,
+            identity=semiring.zero if identity is None else identity,
+            combine=semiring.plus,
+            subtract=subtract,
+            is_commutative=semiring.plus_commutative,
+            is_associative=semiring.plus_associative,
+            is_idempotent=semiring.plus_idempotent,
+            semiring=semiring,
+        )
+
+    # -- semiring-law views (legacy flags remain the storage) ---------------
+    @property
+    def plus_idempotent(self) -> bool:
+        """``x ⊕ x = x`` -- the flag the frontier/rederive gates read."""
+        return self.is_idempotent
+
+    @property
+    def plus_invertible(self) -> bool:
+        """``⊕`` embeds in a group, enabling pairwise ``G⁻``."""
+        if self.semiring is not None:
+            return self.semiring.plus_invertible
+        return self.kind is AggregateKind.ADDITIVE
+
+    @property
+    def naturally_ordered(self) -> bool:
+        if self.semiring is not None:
+            return self.semiring.naturally_ordered
+        return self.kind is AggregateKind.SELECTIVE
+
+    @property
+    def numeric_values(self) -> bool:
+        """Carrier values are float-coercible (float64 kernel paths ok)."""
+        return self.semiring is None or self.semiring.numeric_values
+
+    @property
+    def fold_mode(self) -> Optional[str]:
+        """Vectorization hint: the float64 ufunc implementing ``⊕``."""
+        if self.semiring is not None:
+            return self.semiring.fold_mode
+        return None
 
     def combine_many(self, values: Iterable[object]):
-        """Fold ``combine`` over ``values``, starting from the identity."""
-        result = self.identity
+        """Left-fold ``combine`` over ``values`` in one pass.
+
+        Starts from the first value (by the identity law this matches
+        starting from the identity, and it is the only sound start for
+        identity-free operators like ``mean``); an empty input yields
+        the identity, or raises for identity-free aggregates.
+        """
+        result = _EMPTY
         for value in values:
-            result = value if result is None else self.combine(result, value)
-        if result is None:
-            raise ValueError(f"aggregate {self.name} over empty input")
+            result = value if result is _EMPTY else self.combine(result, value)
+        if result is _EMPTY:
+            if self.identity is None:
+                raise ValueError(f"aggregate {self.name} over empty input")
+            return self.identity
         return result
 
     def improves(self, current: object, delta: object) -> bool:
@@ -66,7 +161,27 @@ class Aggregate:
         """Contribution of a delta to the ``|ΔX| < eps`` termination test."""
         if delta is None:
             return 0.0
-        return abs(float(delta))
+        if self.semiring is not None:
+            return self.semiring.value_magnitude(delta)
+        try:
+            return abs(float(delta))
+        except OverflowError:
+            return float("inf")
+
+    def change_magnitude(self, new, old, tmp) -> float:
+        """Magnitude of an accumulator update, for termination accounting.
+
+        For idempotent ``⊕`` the accumulator moved from ``old`` to
+        ``new`` and the distance between them is the honest measure; for
+        invertible ``⊕`` the fetched ``tmp`` *is* the change.  Numeric
+        semirings keep the historical ``abs(new - old)`` float
+        arithmetic bit-identical.
+        """
+        if self.is_idempotent:
+            if self.semiring is not None and self.semiring.change is not None:
+                return self.semiring.change_magnitude(new, old)
+            return abs(new - old)
+        return self.delta_magnitude(tmp)
 
     def __repr__(self):
         return f"Aggregate({self.name})"

@@ -1,11 +1,35 @@
-"""The five built-in aggregate operators of the paper (section 5.1)."""
+"""The built-in aggregate operators (paper section 5.1, generalized).
+
+The paper predefines ``min``/``max``/``sum``/``count``/``mean``; here
+each of the semiring-foldable ones is built *from* its declared algebra
+(:mod:`repro.aggregates.semiring`) so the law flags live in one place:
+
+===========  ============  =====================================
+aggregate    semiring      opens the workload family
+===========  ============  =====================================
+``min``      tropical      shortest paths (sssp, reachable_cost)
+``max``      arctic        longest/critical paths, Viterbi
+``sum``      counting      page rank, path counting
+``count``    counting      degree/population counts
+``or``       boolean       why-provenance reachability
+``topk``     k-tropical    top-k shortest paths
+``mean``     --            (not a semiring ``⊕``; naive only)
+===========  ============  =====================================
+"""
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.aggregates.base import Aggregate, AggregateKind
+from repro.aggregates.semiring import (
+    ARCTIC,
+    BOOLEAN,
+    COUNTING,
+    KTROPICAL,
+    TROPICAL,
+    VITERBI,
+)
 
 
 def _min_subtract(new, old) -> Optional[object]:
@@ -26,52 +50,55 @@ def _max_subtract(new, old) -> Optional[object]:
 
 
 def _sum_subtract(new, old) -> Optional[object]:
-    """``G⁻`` for sum/count: pairwise subtraction (section 3.3)."""
+    """``G⁻`` for sum/count: pairwise subtraction needs ``⊕`` invertible
+    (section 3.3)."""
     if old is None:
         return new
     delta = new - old
     return delta if delta != 0 else None
 
 
-MIN = Aggregate(
-    name="min",
-    kind=AggregateKind.SELECTIVE,
-    identity=math.inf,
-    combine=min,
-    subtract=_min_subtract,
-    is_idempotent=True,
-)
+def _improve_subtract(new, old) -> Optional[object]:
+    """``G⁻`` for idempotent non-numeric ``⊕``: the improved value itself.
 
-MAX = Aggregate(
-    name="max",
-    kind=AggregateKind.SELECTIVE,
-    identity=-math.inf,
-    combine=max,
-    subtract=_max_subtract,
-    is_idempotent=True,
-)
+    Like ``min``'s, but comparison-free -- ``new`` already absorbs
+    ``old`` (it was produced by folding ``old`` in), so any structural
+    change is an improvement worth propagating.
+    """
+    if old is None or new != old:
+        return new
+    return None
 
-SUM = Aggregate(
-    name="sum",
-    kind=AggregateKind.ADDITIVE,
-    identity=0,
-    combine=lambda a, b: a + b,
-    subtract=_sum_subtract,
-)
+
+MIN = Aggregate.from_semiring("min", TROPICAL, _min_subtract)
+
+MAX = Aggregate.from_semiring("max", ARCTIC, _max_subtract)
+
+#: ``sum`` folds the counting semiring's ``⊕`` but ranges over all
+#: numbers (pagerank mixes signs), so invertibility is the load-bearing
+#: law rather than the natural order.
+SUM = Aggregate.from_semiring("sum", COUNTING, _sum_subtract)
 
 #: ``count`` shares sum's algebra: the paper's runtime semantics is
 #: ``return sum(r, count[d])`` -- counting is summation of contributions.
-COUNT = Aggregate(
-    name="count",
-    kind=AggregateKind.ADDITIVE,
-    identity=0,
-    combine=lambda a, b: a + b,
-    subtract=_sum_subtract,
-)
+COUNT = Aggregate.from_semiring("count", COUNTING, _sum_subtract)
+
+#: boolean reachability: ``or`` is ``max`` restricted to {0, 1}, so every
+#: float64 kernel path (including the vectorized ``max`` fold) applies.
+OR = Aggregate.from_semiring("or", BOOLEAN, _max_subtract)
+
+#: most-probable-path fold over [0, 1]; programs combine it with a
+#: ``v * p`` scale body (the Viterbi ``⊗``).
+BEST = Aggregate.from_semiring("best", VITERBI, _max_subtract)
+
+#: top-k shortest paths: values are ``KTuple``s, the only non-numeric
+#: carrier; kernels without object support refuse its plans.
+TOPK = Aggregate.from_semiring("topk", KTROPICAL, _improve_subtract)
 
 #: ``mean`` as the binary operator the paper defines in Z3; it is neither
-#: commutative-associative as a fold nor decomposable, so it fails the
-#: Property-1 check and is never executed with MRA evaluation.
+#: commutative-associative as a fold nor decomposable -- there is no
+#: semiring whose ``⊕`` it is -- so it fails the Property-1 check and is
+#: never executed with MRA evaluation.
 MEAN = Aggregate(
     name="mean",
     kind=AggregateKind.OTHER,
@@ -83,7 +110,7 @@ MEAN = Aggregate(
 )
 
 BUILTIN_AGGREGATES: dict[str, Aggregate] = {
-    agg.name: agg for agg in (MIN, MAX, SUM, COUNT, MEAN)
+    agg.name: agg for agg in (MIN, MAX, SUM, COUNT, OR, BEST, TOPK, MEAN)
 }
 
 

@@ -1,0 +1,371 @@
+"""First-class semiring algebra for the aggregate core.
+
+The MRA machinery of the paper is stated for min/max/sum-style monoid
+aggregates, but the same fixpoint iteration works over any commutative
+semiring ``(D, ⊕, ⊗, 0̄, 1̄)``: the group-by aggregate ``G`` is the
+``⊕``-fold, while ``F'`` carries the (per-program) ``⊗`` -- a shift
+``dx + w`` is the tropical/arctic ``⊗``, a scale ``v * p`` is the
+counting/Viterbi ``⊗``, and the identity ``ry = rx`` is compatible with
+the boolean ``⊗``.  A :class:`Semiring` therefore declares the algebra
+*the aggregate folds over* plus the law flags every other layer
+consumes:
+
+* ``plus_idempotent`` (``x ⊕ x = x``) -- unlocks the MonoTable's
+  no-improvement pruning and the delta layer's rederive repair;
+* ``naturally_ordered`` (``a ≤ b ⟺ ∃c. a ⊕ c = b``) -- makes the
+  ``⊕``-fold a *selection*, the shape Theorem 1's Property 2 needs for
+  monotone ``F'``;
+* ``times_monotone`` (``a ≤ b ⟹ a ⊗ c ≤ b ⊗ c``) -- the obligation
+  the structural prescreen discharges for shift/scale ``F'`` bodies;
+* ``plus_invertible`` (``⊕`` embeds in a group) -- unlocks pairwise
+  ``G⁻`` subtraction and the delta layer's insert-only frontier path.
+
+Law flags are *declared* here and *machine-checked* over ``samples`` by
+the property suite in ``tests/test_semiring_laws.py``, so an instance
+cannot ship with lying flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "KTuple",
+    "Semiring",
+    "TROPICAL",
+    "ARCTIC",
+    "COUNTING",
+    "BOOLEAN",
+    "VITERBI",
+    "KTROPICAL",
+    "REGISTERED_SEMIRINGS",
+    "get_semiring",
+    "register_semiring",
+]
+
+#: arity of the k-tropical semiring (top-k shortest paths keeps the k
+#: smallest *distinct* lengths; distinctness is what makes ``⊕``
+#: idempotent -- a multiset merge would break ``x ⊕ x = x``).
+K_DEFAULT = 3
+
+
+class KTuple:
+    """A value of the k-tropical semiring: ≤k distinct lengths, ascending.
+
+    ``⊕`` is merge-then-truncate over *distinct* values; ``⊗`` against a
+    scalar edge weight is elementwise shift (so compiled ``F'`` bodies of
+    the form ``dx + w`` work unchanged via :meth:`__add__`).  Instances
+    are immutable, hashable and compare structurally, which the delta
+    layer's plan diffing and the MonoTable's change test rely on.
+    """
+
+    __slots__ = ("values",)
+
+    k = K_DEFAULT
+
+    def __init__(self, values=()):
+        vals = []
+        for v in values:
+            if isinstance(v, KTuple):
+                vals.extend(v.values)
+            else:
+                vals.append(float(v))
+        object.__setattr__(self, "values", tuple(sorted(set(vals))[: self.k]))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("KTuple is immutable")
+
+    # -- semiring operations -------------------------------------------------
+    def merge(self, other: "KTuple") -> "KTuple":
+        """``⊕``: keep the k smallest distinct values of the union."""
+        if not other.values:
+            return self
+        if not self.values:
+            return other
+        merged = KTuple(self.values + other.values)
+        return merged
+
+    def shift(self, weight) -> "KTuple":
+        """``⊗`` against a scalar: add the weight to every kept length."""
+        return KTuple(tuple(v + float(weight) for v in self.values))
+
+    # -- operator sugar so compiled F' lambdas (``dx + w``) work unchanged ---
+    def __add__(self, other):
+        if isinstance(other, KTuple):
+            # ``a ⊗ b`` over two k-tuples: all pairwise sums, truncated.
+            return KTuple(tuple(x + y for x in self.values for y in other.values))
+        return self.shift(other)
+
+    def __radd__(self, other):
+        return self.shift(other)
+
+    # -- structural protocol -------------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, KTuple):
+            return self.values == other.values
+        return NotImplemented
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    # lexicographic comparison on the sorted values IS the k-tropical
+    # natural order; the async engines sort pending keys by value to
+    # prioritise promising work, so the carrier must be orderable.
+    def __lt__(self, other):
+        if isinstance(other, KTuple):
+            return self.values < other.values
+        return NotImplemented
+
+    def __le__(self, other):
+        if isinstance(other, KTuple):
+            return self.values <= other.values
+        return NotImplemented
+
+    def __gt__(self, other):
+        if isinstance(other, KTuple):
+            return self.values > other.values
+        return NotImplemented
+
+    def __ge__(self, other):
+        if isinstance(other, KTuple):
+            return self.values >= other.values
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("KTuple", self.values))
+
+    def __len__(self):
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __repr__(self):
+        inner = ", ".join(f"{v:g}" for v in self.values)
+        return f"ktup({inner})"
+
+    def magnitude(self) -> float:
+        """Deterministic non-negative size for ``|ΔX|`` accounting."""
+        return float(sum(abs(v) for v in self.values if v == v))
+
+
+def _ktuple_change(new, old) -> float:
+    """``|new - old|`` analogue for k-tuples (both are KTuples)."""
+    return abs(new.magnitude() - old.magnitude()) or float(
+        len(set(new.values) ^ set(old.values))
+    )
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A declared semiring ``(⊕, ⊗, 0̄, 1̄)`` with law flags.
+
+    ``plus`` is the aggregate's binary combine; ``times`` is the
+    reference ``⊗`` the program's ``F'`` is expected to be compatible
+    with (the analysis layer classifies *which* ``⊗`` a program actually
+    uses).  The flags are proof obligations, not hints: the property
+    suite checks each one over ``samples``.
+    """
+
+    name: str
+    plus: Callable[[object, object], object]
+    times: Callable[[object, object], object]
+    zero: object
+    one: object
+    #: ``x ⊕ x = x`` -- min/max-style selection.
+    plus_idempotent: bool = False
+    plus_commutative: bool = True
+    plus_associative: bool = True
+    #: ``a ≤ b ⟺ ∃c. a ⊕ c = b`` -- the fold is a selection over a
+    #: total natural order (Theorem 1's selective obligation).
+    naturally_ordered: bool = False
+    #: ``a ≤ b ⟹ a ⊗ c ≤ b ⊗ c`` in the natural order.
+    times_monotone: bool = True
+    #: ``⊕`` embeds in a group, so ``G⁻`` can be pairwise subtraction.
+    plus_invertible: bool = False
+    #: vectorization hint for the numpy kernel: which float64 ufunc
+    #: implements ``⊕`` (``"min"``/``"max"``/``"sum"``); ``None`` means
+    #: there is no vectorized form and kernels take scalar paths.
+    fold_mode: Optional[str] = None
+    #: carrier values are plain numbers (float-coercible); numeric
+    #: semirings unlock float64 arrays and Meyer-Sanders value buckets.
+    numeric_values: bool = True
+    #: ``|v|`` for termination/metrics accounting; ``None`` means
+    #: ``abs(float(v))`` (the historical numeric behaviour, kept
+    #: bit-identical for the existing programs).
+    magnitude: Optional[Callable[[object], float]] = None
+    #: ``|new ⊖ old|`` for idempotent accumulate accounting; ``None``
+    #: means ``abs(new - old)``.
+    change: Optional[Callable[[object, object], float]] = None
+    #: carrier values the law property suite quantifies over.
+    samples: tuple = ()
+
+    def value_magnitude(self, value) -> float:
+        """Magnitude of a carrier value (0.0 for ``None``)."""
+        if value is None:
+            return 0.0
+        if self.magnitude is not None:
+            return self.magnitude(value)
+        try:
+            return abs(float(value))
+        except OverflowError:
+            # exact python-int carriers (counting ⊕ on deep DAGs) can
+            # outgrow float64; any eps test treats the delta as a change
+            return float("inf")
+
+    def change_magnitude(self, new, old) -> float:
+        """Magnitude of an accumulator moving from ``old`` to ``new``."""
+        if self.change is not None:
+            return self.change(new, old)
+        return abs(new - old)
+
+    def law_summary(self) -> str:
+        """Compact law string for CLI tables, e.g. ``⊕-idem,ordered``."""
+        laws = []
+        if self.plus_idempotent:
+            laws.append("⊕-idem")
+        if self.naturally_ordered:
+            laws.append("ordered")
+        if self.plus_invertible:
+            laws.append("⊕-inv")
+        if self.times_monotone:
+            laws.append("⊗-mono")
+        return ",".join(laws) if laws else "-"
+
+    def to_dict(self) -> dict:
+        """JSON form for lint reports (flags only, no callables)."""
+        return {
+            "name": self.name,
+            "plus_idempotent": self.plus_idempotent,
+            "plus_commutative": self.plus_commutative,
+            "plus_associative": self.plus_associative,
+            "naturally_ordered": self.naturally_ordered,
+            "times_monotone": self.times_monotone,
+            "plus_invertible": self.plus_invertible,
+            "numeric_values": self.numeric_values,
+        }
+
+    def __repr__(self):
+        return f"Semiring({self.name})"
+
+
+_INF = float("inf")
+
+#: (min, +, ∞, 0) -- shortest paths; ``sssp``'s algebra.
+TROPICAL = Semiring(
+    name="tropical",
+    plus=min,
+    times=lambda a, b: a + b,
+    zero=_INF,
+    one=0,
+    plus_idempotent=True,
+    naturally_ordered=True,
+    fold_mode="min",
+    samples=(0, 1, 2, 5, _INF),
+)
+
+#: (max, +, −∞, 0) -- longest/critical paths.
+ARCTIC = Semiring(
+    name="arctic",
+    plus=max,
+    times=lambda a, b: a + b,
+    zero=-_INF,
+    one=0,
+    plus_idempotent=True,
+    naturally_ordered=True,
+    fold_mode="max",
+    samples=(0, 1, 2, 5, -_INF),
+)
+
+#: (+, ×, 0, 1) over the naturals -- path counting; ``sum``'s algebra.
+COUNTING = Semiring(
+    name="counting",
+    plus=lambda a, b: a + b,
+    times=lambda a, b: a * b,
+    zero=0,
+    one=1,
+    plus_invertible=True,
+    naturally_ordered=True,
+    fold_mode="sum",
+    samples=(0, 1, 2, 3, 7),
+)
+
+#: ({0,1}, or, and, 0, 1) -- reachability / why-provenance support.
+#: ``or`` is ``max`` restricted to {0,1} so the numpy kernel's ``max``
+#: fold vectorizes it unchanged.
+BOOLEAN = Semiring(
+    name="boolean",
+    plus=max,
+    times=min,
+    zero=0,
+    one=1,
+    plus_idempotent=True,
+    naturally_ordered=True,
+    fold_mode="max",
+    samples=(0, 1),
+)
+
+#: ([0,1], max, ×, 0, 1) -- most-probable path (Viterbi).
+VITERBI = Semiring(
+    name="viterbi",
+    plus=max,
+    times=lambda a, b: a * b,
+    zero=0.0,
+    one=1.0,
+    plus_idempotent=True,
+    naturally_ordered=True,
+    fold_mode="max",
+    samples=(0.0, 0.25, 0.5, 1.0),
+)
+
+#: k smallest distinct path lengths -- top-k shortest paths.  Values are
+#: :class:`KTuple`, so ``numeric_values`` is off: only object-capable
+#: kernels (python, numpy's object mode) may execute it.
+KTROPICAL = Semiring(
+    name="k-tropical",
+    plus=lambda a, b: a.merge(b),
+    times=lambda a, b: a + b,
+    zero=KTuple(()),
+    one=KTuple((0,)),
+    plus_idempotent=True,
+    naturally_ordered=True,
+    numeric_values=False,
+    magnitude=lambda v: v.magnitude(),
+    change=_ktuple_change,
+    samples=(
+        KTuple(()),
+        KTuple((0,)),
+        KTuple((1, 3)),
+        KTuple((2, 4, 9)),
+        KTuple((1, 2, 3)),
+    ),
+)
+
+REGISTERED_SEMIRINGS: dict[str, Semiring] = {}
+
+
+def register_semiring(semiring: Semiring) -> Semiring:
+    """Register an instance for lookup and for the law property suite."""
+    if semiring.name in REGISTERED_SEMIRINGS:
+        raise ValueError(f"semiring {semiring.name!r} already registered")
+    REGISTERED_SEMIRINGS[semiring.name] = semiring
+    return semiring
+
+
+for _s in (TROPICAL, ARCTIC, COUNTING, BOOLEAN, VITERBI, KTROPICAL):
+    register_semiring(_s)
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up a registered semiring by name."""
+    try:
+        return REGISTERED_SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; expected one of "
+            f"{sorted(REGISTERED_SEMIRINGS)}"
+        ) from None

@@ -8,6 +8,14 @@ AAP subclasses) therefore refuse to run a program without a certificate:
 an uncertified program would silently compute wrong answers under
 message reordering.
 
+In semiring terms the certificate discharges two law obligations: the
+aggregate's ``⊕`` must be the commutative-associative fold of a declared
+semiring (Property 1 -- reordered deliveries fold to the same value),
+and every recursive body's ``F'`` must act as a monotone/distributive
+``⊗`` (Property 2 -- applying ``F'`` to a partially-folded value cannot
+overshoot the fixpoint).  ``mean`` fails the first obligation (it is not
+a semiring ``⊕`` at all), which is why mean programs are never certified.
+
 Certification is cheap and proof-only:
 
 1. the Theorem-1 pre-screen (:mod:`repro.analysis.prescreen`) -- pure

@@ -74,6 +74,10 @@ CODES: dict[str, str] = {
     # sparse-frontier scheduling applicability (RA33x)
     "RA330": "sparse frontier: bucketed delta-stepping applicable",
     "RA331": "sparse frontier: compaction only, delta-stepping inapplicable",
+    # semiring classification (RA34x)
+    "RA340": "semiring classified",
+    "RA341": "aggregate is not the ⊕ of any semiring",
+    "RA342": "F' not certified against the aggregate's semiring ⊗",
     # sharding / communication shape (RA4xx)
     "RA401": "communication shape",
 }
@@ -156,6 +160,8 @@ class AnalysisReport:
     incremental: Optional[dict[str, Any]] = None
     #: sparse-frontier scheduling section (RA33x verdict)
     frontier: Optional[dict[str, Any]] = None
+    #: semiring classification section (RA34x verdict)
+    semiring: Optional[dict[str, Any]] = None
     #: per-recursive-body communication-shape section
     communication: list[dict[str, Any]] = field(default_factory=list)
     #: predicate strata, bottom-up (EDB first), from the dependency graph
@@ -221,6 +227,12 @@ class AnalysisReport:
                 f"sparse frontier: {self.frontier.get('mode')} "
                 f"({self.frontier.get('code')})"
             )
+        if self.semiring is not None:
+            name = self.semiring.get("semiring") or "none"
+            lines.append(
+                f"semiring: {name} "
+                f"[{self.semiring.get('laws')}] ({self.semiring.get('code')})"
+            )
         for entry in self.communication:
             shape = "co-partitioned" if entry.get("co_partitionable") else "cross-worker"
             lines.append(
@@ -241,6 +253,7 @@ class AnalysisReport:
             "theorem3": self.theorem3,
             "incremental": self.incremental,
             "frontier": self.frontier,
+            "semiring": self.semiring,
             "communication": self.communication,
             "strata": self.strata,
         }

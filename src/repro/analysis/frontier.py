@@ -72,18 +72,35 @@ class FrontierVerdict:
 
 
 def classify_frontier(analysis: "ProgramAnalysis") -> FrontierVerdict:
-    """Classify an analysed program for the sparse vertex runtime."""
+    """Classify an analysed program for the sparse vertex runtime.
+
+    Restated as semiring-law obligations: delta-stepping needs an
+    idempotent ``⊕`` over a natural order (re-relaxation is harmless and
+    parked entries only improve) *and* a numeric carrier (bucket
+    priorities are float values).
+    """
     aggregate = analysis.aggregate
     name = aggregate.name
 
-    if aggregate.kind is not AggregateKind.SELECTIVE or not aggregate.is_idempotent:
+    if aggregate.kind is not AggregateKind.SELECTIVE or not aggregate.plus_idempotent:
         return FrontierVerdict(
             mode="compaction-only",
             aggregate=name,
             detail=(
-                f"aggregate {name!r} is not selective-idempotent; value "
-                "buckets would reorder non-idempotent folds, so the sparse "
-                "backend uses frontier compaction without delta-stepping"
+                f"aggregate {name!r} lacks an idempotent ⊕ over a natural "
+                "order; value buckets would reorder non-idempotent folds, so "
+                "the sparse backend uses frontier compaction without "
+                "delta-stepping"
+            ),
+        )
+    if not aggregate.numeric_values:
+        return FrontierVerdict(
+            mode="compaction-only",
+            aggregate=name,
+            detail=(
+                f"aggregate {name!r} folds a non-numeric semiring carrier; "
+                "Meyer-Sanders buckets key on float priorities, so only "
+                "frontier compaction applies"
             ),
         )
     verdict = prescreen(analysis)

@@ -5,17 +5,19 @@ instead of recomputing it -- but only where that is provably exact.
 This pass derives the static verdict from facts the earlier passes
 already established:
 
-* ``full`` (RA320): selective, idempotent aggregates (min/max) whose
-  every recursive body passed the Theorem-1 structural pre-screen, with
-  plain fixpoint termination and no iteration index.  Pure growth takes
-  the frontier fast path; deletions take bounded re-derivation (the
-  affected forward closure is recomputed, everything else is provably
-  unchanged).
+* ``full`` (RA320): aggregates whose semiring ``⊕`` is idempotent over
+  a natural order (min/max/or/best/topk) and whose every recursive body
+  passed the Theorem-1 structural pre-screen, with plain fixpoint
+  termination and no iteration index.  Pure growth takes the frontier
+  fast path; deletions take bounded re-derivation -- exact precisely
+  because ``x ⊕ x = x`` lets the repair re-fold surviving contributions
+  without double counting.
 
-* ``insert-only`` (RA321): additive aggregates (sum/count) with a
-  linear-homogeneous ``F'`` -- added contributions sum in exactly,
-  but retracting one would require subtracting *derived* mass, which
-  the MonoTable does not track per-derivation.  Deletions and weight
+* ``insert-only`` (RA321): aggregates with an invertible ``⊕``
+  (sum/count) and a linear-homogeneous ``F'`` -- added contributions
+  fold in exactly, but retracting one would require applying ``⊕``'s
+  inverse to *derived* mass along every propagation path, which the
+  MonoTable does not track per-derivation.  Deletions and weight
   updates fall back to full recomputation.
 
 * ``none`` (RA322): everything else.  Iterated (replacement-semantics)
@@ -110,7 +112,7 @@ def classify_incremental(analysis: "ProgramAnalysis") -> IncrementalVerdict:
                 f"repair exactness is unproven ({verdict.detail})"
             ),
         )
-    if aggregate.kind is AggregateKind.SELECTIVE and aggregate.is_idempotent:
+    if aggregate.kind is AggregateKind.SELECTIVE and aggregate.plus_idempotent:
         return IncrementalVerdict(
             mode="full",
             aggregate=name,

@@ -12,7 +12,8 @@ program usable):
 6. theorem-1 pre-screen (RA301/RA302), theorem-3 async certification
    (RA310/RA311), incremental-maintainability classification
    (RA320/RA321/RA322), sparse-frontier scheduling applicability
-   (RA330/RA331) and communication-shape analysis (RA401).
+   (RA330/RA331), semiring classification (RA340/RA341/RA342) and
+   communication-shape analysis (RA401).
 
 Every pass appends to one :class:`~repro.analysis.diagnostics.AnalysisReport`.
 """
@@ -29,6 +30,7 @@ from repro.analysis.frontier import classify_frontier
 from repro.analysis.incremental import classify_incremental
 from repro.analysis.lints import run_lints
 from repro.analysis.prescreen import prescreen
+from repro.analysis.semiring import classify_semiring
 from repro.analysis.structure import check_structure
 from repro.datalog import AnalysisError, LexError, ParseError, parse_program
 from repro.datalog.ast import Program
@@ -99,6 +101,11 @@ def analyze_program(
         report.add(
             info("RA302", f"Theorem-1 pre-screen inconclusive: {verdict.detail}")
         )
+
+    # -- semiring classification -------------------------------------------
+    semiring = classify_semiring(analysis, verdict)
+    report.semiring = semiring.to_dict()
+    report.add(semiring.diagnostic())
 
     # -- Theorem-3 async certification ------------------------------------
     certificate = certify_async(analysis)

@@ -6,10 +6,19 @@ checker only runs the expensive machinery (rational canonical forms,
 interval-based monotonicity, and on failure the 500/800-trial refuter)
 on the residue.
 
+In semiring terms the patterns discharge the ``⊗``-side obligations of
+Theorem 1: Property 1 is the declaration that ``G`` folds a semiring
+``⊕`` (commutative + associative), and Property 2 asks that ``F'`` acts
+like multiplication by an ``x``-free element of a ``⊗`` that is
+monotone over the semiring's natural order.  A shift ``x + e`` is the
+tropical/arctic ``⊗``; a scale ``c * x`` is the counting/Viterbi ``⊗``;
+the identity body is multiplication by ``1̄``.
+
 The patterns, per aggregate kind:
 
-* selective ``G`` (min/max) -- Property 2 needs ``F'`` monotone
-  non-decreasing in the recursion variable ``x``:
+* selective ``G`` (min/max/or/topk -- idempotent ``⊕`` over a natural
+  order) -- Property 2 needs ``F'`` monotone non-decreasing in the
+  recursion variable ``x``:
 
   - ``identity``      ``F' = x``                         (e.g. CC)
   - ``shift``         ``F' = x + e``, ``e`` x-free       (e.g. SSSP)
@@ -18,8 +27,8 @@ The patterns, per aggregate kind:
     (a literal constant, or a variable whose ``assume`` domain proves
     the sign)                                            (e.g. Viterbi)
 
-* additive ``G`` (sum/count) -- Property 2 needs ``F'`` linear and
-  homogeneous in ``x`` (``f(x+y) = f(x)+f(y)``):
+* additive ``G`` (sum/count -- invertible ``⊕``) -- Property 2 needs
+  ``F'`` linear and homogeneous in ``x`` (``f(x+y) = f(x)+f(y)``):
 
   - ``identity``
   - ``linear-homogeneous``  a ``Mul``/``Div``/``Neg`` chain in which

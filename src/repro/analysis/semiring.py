@@ -1,0 +1,154 @@
+"""Semiring classification of a program: RA340/RA341/RA342.
+
+A program's ``G`` aggregate declares which semiring ``⊕`` it folds
+(tropical/arctic/counting/boolean/Viterbi/k-tropical), but the ``⊗`` is
+implicit in the shape of ``F'``: a shift body ``dx + w`` is the
+tropical/arctic ``⊗``, a scale body ``v * p`` is the counting/Viterbi
+``⊗``, and an identity body ``ry = rx`` multiplies by ``1̄`` and is
+compatible with any ``⊗``.  This pass combines the aggregate's declared
+algebra with the Theorem-1 pre-screen's per-body pattern match to name
+the semiring the *program* evaluates over, and flags the two ways the
+classification can fail:
+
+* **RA341** -- the aggregate's binary operator is not the ``⊕`` of any
+  semiring at all (``mean``: associativity already fails, and there is
+  no inverse), so none of the semiring-conditioned machinery (MRA
+  deltas, async certificates, incremental repair) applies;
+* **RA342** -- the aggregate has a declared semiring but some recursive
+  body's ``F'`` matched no pattern, so its compatibility with the
+  declared ``⊗`` (the ``⊗``-monotonicity / distributivity obligation of
+  Theorem 1) is not discharged structurally and falls to the full
+  condition checker.
+
+The happy path emits **RA340** with the classified semiring and its law
+summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.analysis.diagnostics import Diagnostic, info, warning
+from repro.analysis.prescreen import PreScreenVerdict, prescreen
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.analyzer import ProgramAnalysis
+
+#: pre-screen pattern -> which semiring operation the body exercises
+PATTERN_TIMES = {
+    "identity": "1̄",
+    "shift": "⊗ = +",
+    "scale-nonneg": "⊗ = ×",
+    "linear-homogeneous": "⊗ = ×",
+}
+
+#: (declared ⊕-semiring, non-identity pattern) refinements: a ``max``
+#: fold over a scale body is the Viterbi algebra, not the arctic one.
+_REFINEMENTS = {
+    ("arctic", "scale-nonneg"): "viterbi",
+}
+
+
+@dataclass(frozen=True)
+class SemiringVerdict:
+    """Outcome of the semiring classification for one program."""
+
+    #: classified program semiring name; ``None`` when the aggregate is
+    #: not a semiring ``⊕`` (RA341)
+    semiring: Optional[str]
+    #: RA340 | RA341 | RA342
+    code: str
+    aggregate: str
+    #: compact declared-law summary, e.g. ``"⊕-idem,ordered,⊗-mono"``
+    laws: str
+    #: per-recursive-body ``⊗`` usage (``None`` where unrecognised)
+    times: tuple[Optional[str], ...]
+    detail: str
+    #: full law-flag dict of the declared semiring (``None`` for RA341)
+    flags: Optional[dict[str, Any]] = None
+
+    @property
+    def classified(self) -> bool:
+        return self.code == "RA340"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "semiring": self.semiring,
+            "code": self.code,
+            "aggregate": self.aggregate,
+            "laws": self.laws,
+            "times": list(self.times),
+            "detail": self.detail,
+            "flags": self.flags,
+        }
+
+    def diagnostic(self) -> Diagnostic:
+        if self.code == "RA340":
+            return info(self.code, self.detail)
+        return warning(self.code, self.detail)
+
+
+def classify_semiring(
+    analysis: "ProgramAnalysis",
+    verdict: Optional[PreScreenVerdict] = None,
+) -> SemiringVerdict:
+    """Classify the semiring an analysed program evaluates over.
+
+    ``verdict`` lets the pipeline reuse its Theorem-1 pre-screen result
+    instead of re-matching every body.
+    """
+    aggregate = analysis.aggregate
+    declared = aggregate.semiring
+    if declared is None:
+        return SemiringVerdict(
+            semiring=None,
+            code="RA341",
+            aggregate=aggregate.name,
+            laws="-",
+            times=tuple(None for _ in analysis.recursions),
+            detail=(
+                f"aggregate {aggregate.name!r} is not the ⊕ of any semiring "
+                "(associativity fails and ⊕ has no identity/inverse), so no "
+                "semiring-conditioned evaluation mode applies"
+            ),
+        )
+    if verdict is None:
+        verdict = prescreen(analysis)
+    times = tuple(
+        PATTERN_TIMES.get(pattern) if pattern is not None else None
+        for pattern in verdict.patterns
+    )
+    laws = declared.law_summary()
+    if any(t is None for t in times):
+        return SemiringVerdict(
+            semiring=declared.name,
+            code="RA342",
+            aggregate=aggregate.name,
+            laws=laws,
+            times=times,
+            detail=(
+                f"⊕ folds the {declared.name} semiring [{laws}] but at least "
+                "one recursive body's F' matched no structural pattern; its "
+                "⊗-compatibility obligation falls to the full condition "
+                "checker"
+            ),
+            flags=declared.to_dict(),
+        )
+    refined = declared.name
+    non_identity = [p for p in verdict.patterns if p != "identity"]
+    for pattern in non_identity:
+        refined = _REFINEMENTS.get((declared.name, pattern), refined)
+    shape = "+".join(dict.fromkeys(t for t in times)) if times else "constant"
+    return SemiringVerdict(
+        semiring=refined,
+        code="RA340",
+        aggregate=aggregate.name,
+        laws=laws,
+        times=times,
+        detail=(
+            f"program evaluates over the {refined} semiring [{laws}]: "
+            f"⊕ = {aggregate.name}, bodies use {shape}"
+        ),
+        flags=declared.to_dict(),
+    )

@@ -36,7 +36,7 @@ from repro.bench.report import format_table
 from repro.engine.mra import MRAEvaluator
 from repro.graphs import load_dataset
 from repro.programs import PROGRAMS
-from repro.runtime import available_backends, numpy_version
+from repro.runtime import available_backends, get_kernel, numpy_version
 
 #: acceptance floor for the vectorized backend on dense-frontier MRA
 SPEEDUP_FLOOR = 3.0
@@ -52,6 +52,15 @@ DENSE_PROGRAMS = ("pagerank", "katz", "adsorption")
 #: selective-aggregate programs whose frontiers collapse after the first
 #: supersteps -- the sparse backend's home turf
 SPARSE_PROGRAMS = ("sssp", "cc")
+#: the four semiring families (boolean, counting, k-tropical, Viterbi)
+#: ride along at their fixture graphs rather than the scaled dataset:
+#: path counting needs an acyclic input whose multiplicity products stay
+#: below 2^53 (float64 exactness), so their rows pin work counters and
+#: per-backend agreement, not speedup floors
+SEMIRING_PROGRAMS = ("why_reach", "path_count", "kpaths", "reach_prob")
+#: scale recorded on the fixture-graph semiring rows (they do not vary
+#: with the dataset scale knob)
+SEMIRING_ROW_SCALE = 1.0
 
 BASELINE_PATH = os.path.join("benchmarks", "results", "BENCH_kernels.json")
 
@@ -146,6 +155,58 @@ def run_kernel_bench(
                         "fixpoint_matches": True,
                     }
                 )
+    # semiring-family rows: fixture graphs, every supporting backend,
+    # same bit-exactness contract (kpaths' KTuple carrier is refused by
+    # the float64 backends via supports_plan, so its rows cover only
+    # the object-capable ones)
+    from repro.distributed.chaos_harness import default_graph
+
+    for program in SEMIRING_PROGRAMS:
+        spec = PROGRAMS[program]
+        graph = default_graph(program, seed=7)
+        probe_plan = spec.plan(graph)
+        reference_values = None
+        reference_counters = None
+        for backend in backends:
+            if not get_kernel(backend).supports_plan(probe_plan):
+                continue
+            seconds, result = _time_run(
+                lambda: spec.plan(graph), backend, repeats
+            )
+            counters = result.counters.snapshot()
+            if reference_values is None:
+                reference_values = result.values
+                reference_counters = counters
+            else:
+                if result.values != reference_values:
+                    raise AssertionError(
+                        f"{program}@fixture: backend {backend!r} "
+                        "fixpoint differs from the reference backend"
+                    )
+                if counters != reference_counters:
+                    raise AssertionError(
+                        f"{program}@fixture: backend {backend!r} "
+                        "work counters differ from the reference backend"
+                    )
+            rows.append(
+                {
+                    "program": program,
+                    "dataset": graph.name,
+                    "scale": SEMIRING_ROW_SCALE,
+                    "backend": backend,
+                    "seconds": round(seconds, 6),
+                    "iterations": result.counters.iterations,
+                    "work": {
+                        "combines": counters["combines"],
+                        "updates": counters["updates"],
+                        "fprime_applications": counters[
+                            "fprime_applications"
+                        ],
+                    },
+                    "fixpoint_matches": True,
+                }
+            )
+
     check_scale = max(scales)
     speedups = {}
     sparse_speedups = {}
@@ -255,6 +316,7 @@ def write_kernel_baseline(report: ExperimentReport, path: str = BASELINE_PATH) -
         "sparse_floor_scale": SPARSE_FLOOR_SCALE,
         "dense_programs": list(DENSE_PROGRAMS),
         "sparse_programs": list(SPARSE_PROGRAMS),
+        "semiring_programs": list(SEMIRING_PROGRAMS),
         "floors_met": kernel_floors_met(report),
         "rows": stable_rows,
     }

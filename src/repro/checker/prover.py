@@ -4,21 +4,26 @@ For the program class of the paper (one aggregate over values produced by
 an arithmetic ``F'``) the two properties of Theorem 1 have exact
 structural characterisations:
 
-* **Property 1** concerns only the aggregate ``G``.  The five built-in
-  operators are predefined (paper section 5.1); their commutativity/
-  associativity is recorded as metadata and *validated* by exhaustive
-  rational testing in the test suite (and cross-checked by the refuter at
-  check time).
+* **Property 1** concerns only the aggregate ``G``.  In semiring terms
+  it is the declaration that ``G`` folds the ``⊕`` of a commutative
+  semiring; the built-in operators carry this declaration via their
+  :class:`~repro.aggregates.semiring.Semiring` law flags (paper section
+  5.1 predefines the min/max/sum/count/mean subset), which are
+  *validated* by exhaustive rational testing plus the semiring-law
+  property suite (and cross-checked by the refuter at check time).
 
 * **Property 2** ``G ∘ F' ∘ G = G ∘ F'`` over bags of reals:
 
-  - for additive ``G`` (sum/count) it is equivalent to additivity of
-    ``F'``: ``f(x + y) = f(x) + f(y)`` for all reals, i.e. ``F'`` is
-    linear and homogeneous in the recursion variable (``f(x) = a·x``
-    where ``a`` may mention join parameters but not ``x``);
-  - for selective ``G`` (min/max) it is equivalent to ``F'`` being
-    monotone non-decreasing in the recursion variable, so that ``F'``
-    distributes over the selection (``f(min(x,y)) = min(f(x), f(y))``).
+  - for additive ``G`` (sum/count -- invertible ``⊕``) it is equivalent
+    to additivity of ``F'``: ``f(x + y) = f(x) + f(y)`` for all reals,
+    i.e. ``F'`` is linear and homogeneous in the recursion variable
+    (``f(x) = a·x`` where ``a`` may mention join parameters but not
+    ``x``) -- exactly ``⊗``-distributivity over ``⊕``;
+  - for selective ``G`` (min/max -- idempotent ``⊕`` over a natural
+    order) it is equivalent to ``F'`` being monotone non-decreasing in
+    the recursion variable, so that ``F'`` distributes over the
+    selection (``f(min(x,y)) = min(f(x), f(y))``) -- exactly
+    ``⊗``-monotonicity in the natural order.
 
 Both reductions are decided exactly: linear homogeneity by rational
 canonical forms (:func:`repro.expr.is_linear_homogeneous`) and

@@ -24,6 +24,12 @@ _G_BODIES = {
     "min": "(ite (<= a b) a b)",
     "max": "(ite (>= a b) a b)",
     "mean": "(/ (+ a b) 2.0)",
+    # boolean/Viterbi ⊕ are max over their Real-embedded carriers
+    "or": "(ite (>= a b) a b)",
+    "best": "(ite (>= a b) a b)",
+    # the k-tropical carrier is not Real; the script encodes its k=1
+    # projection (the best component), which is the tropical min
+    "topk": "(ite (<= a b) a b)",
 }
 
 #: exact primitives get SMT definitions; transcendental ones are declared

@@ -618,10 +618,18 @@ def cmd_delta(args: argparse.Namespace) -> int:
 
 
 def cmd_programs(_: argparse.Namespace) -> int:
-    print(f"{'name':12s} {'title':24s} {'aggregator':10s} {'MRA sat.':8s} benchmarked")
+    from repro.aggregates import BUILTIN_AGGREGATES
+
+    print(
+        f"{'name':12s} {'title':24s} {'aggregator':10s} {'semiring':11s} "
+        f"{'laws':22s} {'MRA sat.':8s} benchmarked"
+    )
     for name, spec in PROGRAMS.items():
+        semiring = BUILTIN_AGGREGATES[spec.aggregator].semiring
         print(
             f"{name:12s} {spec.title:24s} {spec.aggregator:10s} "
+            f"{semiring.name if semiring else '-':11s} "
+            f"{semiring.law_summary() if semiring else '-':22s} "
             f"{'yes' if spec.expected_mra else 'no':8s} "
             f"{'yes' if spec.benchmarked else ''}"
         )

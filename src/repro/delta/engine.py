@@ -49,7 +49,7 @@ from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult, WorkCounters
 from repro.engine.termination import TerminationTracker
 from repro.obs import ensure_obs
-from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend, resolve_backend_for_plan
 
 ENGINE_NAME = "incremental"
 
@@ -100,7 +100,16 @@ class PlanDiff:
 
 
 def _diff_values(aggregate, old: dict, new: dict, improved: dict, regressed: set) -> None:
-    """Diff one base-fact map (``initial`` or ``constants``) into seeds."""
+    """Diff one base-fact map (``initial`` or ``constants``) into seeds.
+
+    Which semiring law the aggregate's ``⊕`` satisfies decides how a
+    changed base value turns into a seed: under idempotent ``⊕`` an
+    improving value can simply be re-folded (``x ⊕ x = x`` absorbs the
+    overlap), while under invertible ``⊕`` the seed must be the exact
+    difference ``G⁻(new, old)`` so the old contribution is retracted.
+    A change that is neither (a regression under idempotent ``⊕``)
+    cannot be expressed as a seed at all and marks the key regressed.
+    """
     combine = aggregate.combine
     for key, value in new.items():
         prior = old.get(key)
@@ -108,7 +117,7 @@ def _diff_values(aggregate, old: dict, new: dict, improved: dict, regressed: set
             seed = value
         elif value == prior:
             continue
-        elif aggregate.is_idempotent:
+        elif aggregate.plus_idempotent:
             if combine(prior, value) != prior:
                 seed = value
             else:
@@ -145,9 +154,15 @@ def choose_strategy(mode: str, diff: PlanDiff) -> str:
     """Pick the repair strategy for one delta.
 
     ``mode`` is the static verdict of
-    :func:`repro.analysis.incremental.classify_incremental`:
-    ``"full"`` (selective, deletion-capable), ``"insert-only"``
-    (additive, pure growth only) or ``"none"``.
+    :func:`repro.analysis.incremental.classify_incremental`, which is a
+    statement about the aggregate's semiring ``⊕``: ``"full"`` needs an
+    idempotent ``⊕`` over a natural order (re-deriving the deletion cone
+    re-folds surviving contributions without double counting, which is
+    exactly ``x ⊕ x = x``), ``"insert-only"`` needs an invertible ``⊕``
+    (new edges fold in exactly, but a deletion would have to retract
+    derived mass through ``G⁻`` along every path -- so pure growth
+    only), and ``"none"`` means neither law holds or exactness is
+    unproven.
     """
     if mode not in ("full", "insert-only"):
         return "recompute"
@@ -276,7 +291,7 @@ def repair_plan(
     """Repair ``prior_values`` (the fixpoint of ``old_plan``) into the
     fixpoint of ``new_plan``; see the module docstring for strategies."""
     obs = ensure_obs(obs)
-    backend = resolve_backend(backend)
+    backend = resolve_backend_for_plan(new_plan, backend)
     diff = diff_plans(old_plan, new_plan)
     strategy = choose_strategy(mode, diff)
     label = program or new_plan.name

@@ -178,6 +178,10 @@ def default_graph(program_name: str, seed: int = 7):
     runs on a power-law digraph.
     """
     spec = get_program(program_name)
+    if program_name == "path_count":
+        # multiplicity products grow fast; a smaller DAG keeps counts
+        # below 2^53 so float64 backends match the exact python fold
+        return random_dag(40, 120, seed=seed, name="chaos-dag")
     if program_name in ("dag_paths", "cost", "viterbi"):
         return random_dag(50, 160, seed=seed, name="chaos-dag")
     if spec.key_domain == "pair":

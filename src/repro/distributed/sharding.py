@@ -15,7 +15,7 @@ from repro.distributed.cluster import ClusterConfig
 from repro.distributed.partition import HashPartitioner
 from repro.engine.plan import CompiledPlan
 from repro.engine.result import WorkCounters
-from repro.runtime import Kernel, get_kernel, resolve_backend
+from repro.runtime import Kernel, get_kernel, resolve_backend_for_plan
 
 
 class ShardedRun:
@@ -36,7 +36,7 @@ class ShardedRun:
         }
         self.speeds = cluster.worker_speeds()
         self.counters = WorkCounters()
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend_for_plan(plan, backend)
         self.kernel_cls = get_kernel(self.backend)
         #: bucket width announced to every kernel (sync delta-stepping)
         self.delta_step_width = delta_step_width

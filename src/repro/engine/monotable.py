@@ -13,9 +13,13 @@ combined with ``g``).  The three-step update of Figure 7 is:
    entries of dependent rows (:meth:`push`) -- the cross-row step that
    needs communication when rows live on other workers.
 
-For idempotent (min/max) aggregates, a fetched ``tmp`` that does not
-improve the accumulation entry is dropped without propagation; for
-additive aggregates every non-identity ``tmp`` propagates.
+For aggregates whose ``⊕`` is idempotent (min/max/or/topk), a fetched
+``tmp`` that does not improve the accumulation entry is dropped without
+propagation; for invertible-``⊕`` (additive) aggregates every
+non-identity ``tmp`` propagates.  The magnitude accounting is delegated
+to :meth:`Aggregate.change_magnitude`, which keeps the historical float
+arithmetic for numeric semirings and defers to the semiring's declared
+measure otherwise.
 """
 
 from __future__ import annotations
@@ -82,9 +86,7 @@ class MonoTable:
         if new == old:
             return False, 0.0
         self.accumulated[key] = new
-        if self.aggregate.is_idempotent:
-            return True, abs(new - old)
-        return True, self.aggregate.delta_magnitude(tmp)
+        return True, self.aggregate.change_magnitude(new, old, tmp)
 
     # -- inspection ------------------------------------------------------------
     def pending_keys(self) -> list:

@@ -19,7 +19,7 @@ from repro.engine.plan import CompiledPlan
 from repro.engine.result import EvalResult, WorkCounters
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
-from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend_for_plan
 
 
 def compute_initial_delta(plan: CompiledPlan) -> dict:
@@ -68,7 +68,7 @@ class MRAEvaluator:
         self.termination = termination or plan.termination
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend_for_plan(plan, backend)
 
     def run(self) -> EvalResult:
         plan = self.plan

@@ -30,7 +30,7 @@ from repro.engine.rules import (
 )
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
-from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend_for_plan
 
 
 class NaiveEvaluator:
@@ -51,7 +51,7 @@ class NaiveEvaluator:
         self.termination = termination or TerminationSpec.from_analysis(analysis)
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend_for_plan(analysis, backend)
         evaluate_aux_rules(analysis, self.db, counters=self.counters)
         self._iterated_predicate = analysis.head if analysis.iterated else None
 
@@ -96,7 +96,11 @@ class NaiveEvaluator:
                     total_delta += aggregate.delta_magnitude(value)
                 elif value != old:
                     changed += 1
-                    total_delta += abs(value - old)
+                    total_delta += (
+                        abs(value - old)
+                        if aggregate.numeric_values
+                        else aggregate.change_magnitude(value, old, None)
+                    )
             changed += sum(1 for key in current if key not in next_values)
             self.counters.updates += changed
             self.counters.iterations += 1

@@ -27,7 +27,7 @@ from repro.engine.rules import (
 )
 from repro.engine.termination import TerminationSpec, TerminationTracker
 from repro.obs import ensure_obs
-from repro.runtime import get_kernel, record_backend_metrics, resolve_backend
+from repro.runtime import get_kernel, record_backend_metrics, resolve_backend_for_plan
 
 
 class UnsupportedProgramError(ValueError):
@@ -58,7 +58,7 @@ class SemiNaiveEvaluator:
         self.termination = termination or TerminationSpec.from_analysis(analysis)
         self.obs = ensure_obs(obs)
         self.counters = WorkCounters()
-        self.backend = resolve_backend(backend)
+        self.backend = resolve_backend_for_plan(analysis, backend)
         evaluate_aux_rules(analysis, self.db, counters=self.counters)
         self._iterated_predicate = analysis.head if analysis.iterated else None
 
@@ -98,7 +98,16 @@ class SemiNaiveEvaluator:
             total_delta = 0.0
             for key, value in changed.items():
                 old = current.get(key)
-                total_delta += abs(value - old) if old is not None else abs(value)
+                if old is None:
+                    total_delta += (
+                        abs(value)
+                        if aggregate.numeric_values
+                        else aggregate.delta_magnitude(value)
+                    )
+                elif aggregate.numeric_values:
+                    total_delta += abs(value - old)
+                else:
+                    total_delta += aggregate.change_magnitude(value, old, None)
                 current[key] = value
             self.counters.updates += len(changed)
             self.counters.iterations += 1

@@ -22,6 +22,16 @@ from typing import Mapping, Union
 
 Number = Union[int, float, Fraction]
 
+
+def _ktup_lift(v):
+    """``ktup(x)``: lift a scalar into the k-tropical semiring carrier."""
+    from repro.aggregates.semiring import KTuple
+
+    if isinstance(v, KTuple):
+        return v
+    return KTuple((float(v),))
+
+
 #: Functions allowed in ``Call`` nodes, with float implementations and the
 #: monotonicity flag used by :mod:`repro.expr.analysis`.  ``relu`` and
 #: ``abs`` are exactly representable over rationals; ``tanh``/``exp``/
@@ -37,6 +47,10 @@ KNOWN_FUNCTIONS: dict[str, dict] = {
         "monotone": True,
         "exact": False,
     },
+    # lift a scalar length into the k-tropical carrier (top-k programs'
+    # base rules, e.g. ``d = ktup(0)``); monotone in the natural order
+    # of the k-tropical semiring and exact (the float is kept as-is).
+    "ktup": {"impl": _ktup_lift, "monotone": True, "exact": True},
 }
 
 

@@ -98,8 +98,55 @@ def probability_dag_db(graph: Graph) -> Database:
 
 
 def dag_db(graph: Graph) -> Database:
-    """Unweighted DAG for path counting."""
-    return plain_graph_db(graph)
+    """Unweighted DAG for path counting.
+
+    Cyclic inputs (the social datasets) are canonicalised to their
+    forward sub-DAG -- only edges ``src < dst`` are kept -- so walk
+    counting is well-defined and terminates.  The DAG generators emit
+    topologically-id-ordered edges, so acyclic fixtures pass through
+    unchanged.
+    """
+    db = Database()
+    db.add_facts(
+        "edge", [(src, dst) for src, dst in graph.edges if src < dst], arity=2
+    )
+    db.add_facts("node", [(v,) for v in graph.vertices()], arity=1)
+    return db
+
+
+def multiplicity_dag_db(graph: Graph) -> Database:
+    """DAG with small integer edge multiplicities for weighted counting.
+
+    Multiplicities stay in ``[1, 3]`` so walk counts remain exactly
+    representable in float64 (the counting semiring's carrier on the
+    vectorized backends) at reproduction scale.  As in :func:`dag_db`,
+    cyclic inputs are canonicalised to the forward sub-DAG (``src <
+    dst``) so the counting fixpoint terminates.
+    """
+    multiplicities = (
+        graph.weights if graph.weights is not None else graph.generate_weights(1, 3)
+    )
+    db = Database()
+    db.add_facts(
+        "edge",
+        [
+            (src, dst, m)
+            for (src, dst), m in zip(graph.edges, multiplicities)
+            if src < dst
+        ],
+    )
+    db.add_facts("node", [(v,) for v in graph.vertices()])
+    return db
+
+
+def probability_graph_db(graph: Graph) -> Database:
+    """General digraph with edge success probabilities in (0, 1].
+
+    Unlike :func:`probability_dag_db` the input may be cyclic: products
+    of probabilities never increase along a walk, so the Viterbi-style
+    max fixpoint still terminates.
+    """
+    return probability_dag_db(graph)
 
 
 def tree_db(graph: Graph) -> Database:

@@ -1,4 +1,5 @@
-"""Registry of the paper's fourteen recursive aggregate programs.
+"""Registry of the paper's fourteen recursive aggregate programs, plus
+four semiring-family extensions.
 
 Each program is given in the paper's Datalog dialect; sources follow the
 paper's listings (Programs 1-7) where available.  Two deliberate,
@@ -9,6 +10,12 @@ adjacency with an attenuation constant below 1 (the paper's
 graphs), and Paths-in-DAG / Cost express counting as summation, which is
 exactly the paper's runtime semantics for ``count``
 (``return sum(r, count[d])``, section 2.3).
+
+Beyond Table 1, four program families exercise one registered semiring
+each: ``why_reach`` (boolean -- why-provenance reachability),
+``path_count`` (counting -- multiplicity-weighted walk counting),
+``kpaths`` (k-tropical -- top-k shortest path lengths) and
+``reach_prob`` (Viterbi -- maximum path success probability).
 """
 
 from __future__ import annotations
@@ -173,6 +180,41 @@ gcn(j+1, Y, sum[g1]) :- gcn(j, X, g), a(X, Y, w), para(p),
 """
 
 
+_WHY_REACH = """
+% Why-provenance reachability over the boolean semiring: a vertex is
+% derivable iff some source-0 path witnesses it (⊕ = or, ⊗ = and).
+reach(X, r) :- X = 0, r = 1.
+reach(Y, or[ry]) :- reach(X, rx), edge(X, Y), ry = rx.
+"""
+
+_PATH_COUNT = """
+% Path counting over the counting semiring: walks from source 0 in a
+% DAG with integer edge multiplicities; each edge multiplies the walk
+% count by its multiplicity (⊕ = +, ⊗ = ×).
+assume m >= 0.
+pc(X, c) :- X = 0, c = 1.
+pc(Y, sum[c1]) :- pc(X, c), edge(X, Y, m), c1 = c * m.
+"""
+
+_KPATHS = """
+% Top-k shortest paths over the k-tropical semiring: the k smallest
+% distinct source-0 path lengths per vertex (k = 3); ⊕ is the sorted
+% distinct-truncating merge, ⊗ shifts every component by the edge
+% weight.
+kp(X, d) :- X = 0, d = ktup(0).
+kp(Y, topk[dy]) :- kp(X, dx), edge(X, Y, w), dy = dx + w.
+"""
+
+_REACH_PROB = """
+% Probabilistic reachability over the Viterbi semiring: the maximum
+% success probability over source-0 paths with independent edge
+% probabilities (⊕ = max, ⊗ = ×).
+assume p >= 0.
+rp(X, v) :- X = 0, v = 1.
+rp(Y, best[v1]) :- rp(X, v), edge(X, Y, p), v1 = v * p.
+"""
+
+
 PROGRAMS: dict[str, ProgramSpec] = {
     spec.name: spec
     for spec in [
@@ -232,6 +274,26 @@ PROGRAMS: dict[str, ProgramSpec] = {
         ProgramSpec(
             "gcn", "GCN-Forward", _GCN, "sum", False,
             builders.embedding_db,
+        ),
+        ProgramSpec(
+            "why_reach", "Why-Provenance Reachability", _WHY_REACH, "or",
+            True, builders.plain_graph_db,
+            notes="boolean semiring; witness = some derivation path exists",
+        ),
+        ProgramSpec(
+            "path_count", "Weighted Path Counting", _PATH_COUNT, "sum",
+            True, builders.multiplicity_dag_db,
+            notes="counting semiring over edge multiplicities (DAG input)",
+        ),
+        ProgramSpec(
+            "kpaths", "Top-K Shortest Paths", _KPATHS, "topk",
+            True, builders.weighted_graph_db,
+            notes="k-tropical semiring, k = 3 distinct path lengths",
+        ),
+        ProgramSpec(
+            "reach_prob", "Probabilistic Reachability", _REACH_PROB, "best",
+            True, builders.probability_graph_db,
+            notes="Viterbi semiring; exact on cyclic inputs (p <= 1)",
         ),
     ]
 }

@@ -21,6 +21,10 @@ from repro.reference.oracles import (
     floyd_warshall_apsp,
     lca_ancestor_distances,
     simrank_series,
+    bfs_reachability,
+    dag_weighted_path_counts,
+    k_shortest_path_lengths,
+    max_path_probability,
 )
 
 __all__ = [
@@ -36,4 +40,8 @@ __all__ = [
     "floyd_warshall_apsp",
     "lca_ancestor_distances",
     "simrank_series",
+    "bfs_reachability",
+    "dag_weighted_path_counts",
+    "k_shortest_path_lengths",
+    "max_path_probability",
 ]

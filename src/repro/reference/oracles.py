@@ -185,6 +185,107 @@ def dag_path_costs(graph: Graph, source: int = 0) -> dict[int, float]:
     return costs
 
 
+def bfs_reachability(graph: Graph, source: int = 0) -> dict[int, float]:
+    """Boolean reachability from ``source`` by plain BFS (1.0 = reachable)."""
+    adjacency = graph.out_adjacency()
+    reached = {source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbour in adjacency[vertex]:
+            if neighbour not in reached:
+                reached.add(neighbour)
+                queue.append(neighbour)
+    return {v: 1.0 for v in reached}
+
+
+def dag_weighted_path_counts(graph: Graph, source: int = 0) -> dict[int, float]:
+    """Multiplicity-weighted walk counts from ``source`` (counting semiring).
+
+    Uses the same deterministic ``[1, 3]`` multiplicities as
+    :func:`repro.programs.builders.multiplicity_dag_db`.
+    """
+    multiplicities = (
+        graph.weights if graph.weights is not None else graph.generate_weights(1, 3)
+    )
+    weight_of = {
+        (src, dst): m for (src, dst), m in zip(graph.edges, multiplicities)
+    }
+    counts = {source: 1.0}
+    adjacency = graph.out_adjacency()
+    for vertex in _topological_order(graph):
+        if vertex not in counts:
+            continue
+        for neighbour in adjacency[vertex]:
+            counts[neighbour] = counts.get(neighbour, 0.0) + counts[
+                vertex
+            ] * weight_of[(vertex, neighbour)]
+    return counts
+
+
+def k_shortest_path_lengths(
+    graph: Graph, k: int = 3, source: int = 0
+) -> dict[int, tuple[float, ...]]:
+    """The ``k`` smallest *distinct* path lengths from ``source`` per vertex.
+
+    Label-setting generalisation of Dijkstra (positive weights): each
+    vertex keeps a sorted list of at most ``k`` distinct lengths; a
+    popped label that was truncated out in the meantime is stale and
+    skipped.  Independent of the engines' KTuple merge/shift algebra.
+    """
+    adjacency: list[list[tuple[int, float]]] = [
+        [] for _ in range(graph.num_vertices)
+    ]
+    for src, dst, weight in graph.weighted_edges():
+        adjacency[src].append((dst, float(weight)))
+    labels: dict[int, list[float]] = {source: [0.0]}
+    frontier: list[tuple[float, int]] = [(0.0, source)]
+    while frontier:
+        length, vertex = heapq.heappop(frontier)
+        if length not in labels.get(vertex, ()):
+            continue  # truncated while parked: stale
+        for neighbour, weight in adjacency[vertex]:
+            candidate = length + weight
+            known = labels.setdefault(neighbour, [])
+            if candidate in known:
+                continue
+            if len(known) < k or candidate < known[-1]:
+                known.append(candidate)
+                known.sort()
+                del known[k:]
+                heapq.heappush(frontier, (candidate, neighbour))
+    return {vertex: tuple(lengths) for vertex, lengths in labels.items()}
+
+
+def max_path_probability(graph: Graph, source: int = 0) -> dict[int, float]:
+    """Maximum product of edge probabilities over ``source`` paths.
+
+    Best-first search with a max-heap -- exact on cyclic graphs because
+    probabilities lie in (0, 1], so extending a path never increases its
+    product (the Viterbi analogue of Dijkstra's invariant).
+    """
+    adjacency: list[list[tuple[int, float]]] = [
+        [] for _ in range(graph.num_vertices)
+    ]
+    for src, dst, weight in graph.weighted_edges():
+        adjacency[src].append((dst, weight / 10.0))
+    best: dict[int, float] = {source: 1.0}
+    frontier: list[tuple[float, int]] = [(-1.0, source)]
+    settled: set[int] = set()
+    while frontier:
+        negated, vertex = heapq.heappop(frontier)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        probability = -negated
+        for neighbour, edge_probability in adjacency[vertex]:
+            candidate = probability * edge_probability
+            if candidate > best.get(neighbour, 0.0):
+                best[neighbour] = candidate
+                heapq.heappush(frontier, (-candidate, neighbour))
+    return best
+
+
 def viterbi_best_path(graph: Graph, source: int = 0) -> dict[int, float]:
     """Maximum path probability from ``source`` (DP over the DAG)."""
     weights = {

@@ -16,6 +16,7 @@ from repro.runtime.base import (
     record_backend_metrics,
     register_kernel,
     resolve_backend,
+    resolve_backend_for_plan,
 )
 from repro.runtime.compat import HAVE_NUMPY, NUMPY_INSTALL_HINT, numpy_version
 from repro.runtime.python_kernel import PythonKernel
@@ -46,4 +47,5 @@ __all__ = [
     "record_backend_metrics",
     "register_kernel",
     "resolve_backend",
+    "resolve_backend_for_plan",
 ]

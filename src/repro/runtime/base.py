@@ -107,6 +107,18 @@ class Kernel:
     def available(cls) -> bool:
         return True
 
+    @classmethod
+    def supports_plan(cls, plan) -> bool:
+        """Can this backend execute ``plan``'s semiring carrier?
+
+        The default is universal support.  Backends whose state lives in
+        float64 arrays or value-ordered buckets (sparse, jit) override
+        this to refuse plans over non-numeric semiring carriers (e.g.
+        k-tropical ``KTuple`` values); callers should fall back to an
+        object-capable backend for those plans.
+        """
+        return True
+
     # -- ΔX¹ (section 3.3) ------------------------------------------------------
     @classmethod
     def initial_delta(cls, plan) -> dict:
@@ -298,6 +310,38 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"unknown backend {backend!r}; known: {sorted(KERNELS)}"
         )
     return backend
+
+
+def resolve_backend_for_plan(plan, backend: Optional[str] = None) -> str:
+    """Resolve ``backend`` for one program, honouring its semiring carrier.
+
+    A backend name is a *preference* (CLI flag, ``REPRO_BACKEND``, an
+    engine passing its configured backend down); whether a kernel can
+    hold a program's carrier is decided per plan by ``supports_plan``.
+    A preference the plan's semiring rules out (the float64 sparse/jit
+    backends against k-tropical ``KTuple`` values) degrades to the
+    first supporting backend in (numpy, python) instead of crashing the
+    run; numeric programs always resolve to the preference unchanged.
+
+    ``plan`` may be anything with an ``aggregate`` attribute (a
+    compiled plan or a :class:`ProgramAnalysis`).
+    """
+    name = resolve_backend(backend)
+    cls = KERNELS[name]
+    if not cls.available() or cls.supports_plan(plan):
+        # unavailable backends are not degraded: the caller's
+        # get_kernel/from_plan must raise the install hint, not be
+        # silently rerouted
+        return name
+    for fallback in ("numpy", "python"):
+        fallback_cls = KERNELS.get(fallback)
+        if (
+            fallback_cls is not None
+            and fallback_cls.available()
+            and fallback_cls.supports_plan(plan)
+        ):
+            return fallback
+    return name
 
 
 def get_kernel(backend: Optional[str] = None) -> type:

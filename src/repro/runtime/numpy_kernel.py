@@ -170,6 +170,11 @@ class _PlanCSR:
         return self.edst[eids], vals
 
 
+def _identity(value):
+    """Object-mode cast: keep semiring carrier values as-is."""
+    return value
+
+
 def plan_csr(plan) -> _PlanCSR:
     csr = getattr(plan, "_kernel_csr", None)
     if csr is None:
@@ -202,34 +207,40 @@ class NumpyKernel(Kernel):
         self._keys = self._csr.keys_sorted
         self._index = self._csr.index
         n = self._csr.n
-        name = self.aggregate.name
-        if name == "min":
-            self._mode = "min"
-        elif name == "max":
-            self._mode = "max"
-        elif self.aggregate.kind.value == "additive":
-            self._mode = "sum"
+        # ⊕ dispatch is driven by the aggregate's declared semiring: the
+        # ``fold_mode`` hint names the float64 ufunc implementing ⊕
+        # (min/max/sum); non-numeric carriers (k-tropical KTuples) run
+        # every path scalar over object columns.
+        self._object_mode = not self.aggregate.numeric_values
+        fold_mode = self.aggregate.fold_mode
+        if self._object_mode or fold_mode not in ("min", "max", "sum"):
+            self._mode = "other"  # e.g. mean/topk: scalar combine fallback
         else:
-            self._mode = "other"  # e.g. mean: scalar combine fallback
+            self._mode = fold_mode
+        #: scalar-path coercion: ``float`` for numeric semirings (the
+        #: historical bit-identical behaviour), identity for object mode
+        self._cast = _identity if self._object_mode else float
+        value_dtype = object if self._object_mode else np.float64
         if keys is None:
             self._owned_mask = None
         else:
             self._owned_mask = np.zeros(n, dtype=bool)
             for key in keys:
                 self._owned_mask[self._index[key]] = True
-        self._acc = np.zeros(n, dtype=np.float64)
+        self._acc = np.zeros(n, dtype=value_dtype)
         self._acc_has = np.zeros(n, dtype=bool)
         self._acc_order: list[int] = []
-        self._pend = np.zeros(n, dtype=np.float64)
+        self._pend = np.zeros(n, dtype=value_dtype)
         self._pend_has = np.zeros(n, dtype=bool)
         self._pend_order: list[int] = []
         if initial is None:
             initial = plan.initial
+        cast = self._cast
         for key, value in initial.items():
             i = self._index[key]
             if self._owned_mask is not None and not self._owned_mask[i]:
                 continue
-            self._acc[i] = float(value)
+            self._acc[i] = cast(value)
             self._acc_has[i] = True
             self._acc_order.append(i)
 
@@ -246,15 +257,17 @@ class NumpyKernel(Kernel):
     def accumulated(self) -> dict:
         keys = self._keys
         acc = self._acc
-        return {keys[i]: float(acc[i]) for i in self._acc_order}
+        cast = self._cast
+        return {keys[i]: cast(acc[i]) for i in self._acc_order}
 
     @accumulated.setter
     def accumulated(self, values: dict) -> None:
         self._acc_has[:] = False
         self._acc_order = []
+        cast = self._cast
         for key, value in values.items():
             i = self._index[key]
-            self._acc[i] = float(value)
+            self._acc[i] = cast(value)
             self._acc_has[i] = True
             self._acc_order.append(i)
 
@@ -283,24 +296,26 @@ class NumpyKernel(Kernel):
     def intermediate(self) -> dict:
         keys = self._keys
         pend = self._pend
-        return {keys[i]: float(pend[i]) for i in self._pend_indices()}
+        cast = self._cast
+        return {keys[i]: cast(pend[i]) for i in self._pend_indices()}
 
     @intermediate.setter
     def intermediate(self, values: dict) -> None:
         self._pend_has[:] = False
         self._pend_order = []
+        cast = self._cast
         for key, value in values.items():
             i = self._index[key]
-            self._pend[i] = float(value)
+            self._pend[i] = cast(value)
             self._pend_has[i] = True
             self._pend_order.append(i)
 
     def push(self, key, value) -> None:
-        self._push_idx(self._index[key], float(value))
+        self._push_idx(self._index[key], self._cast(value))
 
-    def _push_idx(self, i: int, value: float) -> None:
+    def _push_idx(self, i: int, value) -> None:
         if self._pend_has[i]:
-            self._pend[i] = self.aggregate.combine(float(self._pend[i]), value)
+            self._pend[i] = self.aggregate.combine(self._cast(self._pend[i]), value)
             self.counters.combines += 1
         else:
             self._pend[i] = value
@@ -312,12 +327,13 @@ class NumpyKernel(Kernel):
         if not self._pend_has[i]:
             return None
         self._pend_has[i] = False  # stale entry left in _pend_order
-        return float(self._pend[i])
+        return self._cast(self._pend[i])
 
     def drain_all(self) -> dict:
         keys = self._keys
         pend = self._pend
-        drained = {keys[i]: float(pend[i]) for i in self._pend_indices()}
+        cast = self._cast
+        drained = {keys[i]: cast(pend[i]) for i in self._pend_indices()}
         self._pend_has[:] = False
         self._pend_order = []
         return drained
@@ -327,22 +343,21 @@ class NumpyKernel(Kernel):
 
     def _accumulate_idx(self, i: int, tmp) -> tuple[bool, float]:
         aggregate = self.aggregate
+        cast = self._cast
         if not self._acc_has[i]:
-            self._acc[i] = float(tmp)
+            self._acc[i] = cast(tmp)
             self._acc_has[i] = True
             self._acc_order.append(i)
             self.counters.updates += 1
             return True, aggregate.delta_magnitude(tmp)
-        old = float(self._acc[i])
+        old = cast(self._acc[i])
         self.counters.combines += 1
-        new = aggregate.combine(old, float(tmp))
+        new = aggregate.combine(old, cast(tmp))
         if new == old:
             return False, 0.0
         self._acc[i] = new
         self.counters.updates += 1
-        if aggregate.is_idempotent:
-            return True, abs(new - old)
-        return True, aggregate.delta_magnitude(tmp)
+        return True, aggregate.change_magnitude(new, old, tmp)
 
     # -- vectorised core --------------------------------------------------------
     def _vector_accumulate(self, idx, tmp):
@@ -542,7 +557,45 @@ class NumpyKernel(Kernel):
         self._pend_order = []
         return self._round_core(idx, tmp, scatter_self=True)
 
+    def _apply_local_scalar(self, keys: list, emit: Optional[Callable]) -> BatchResult:
+        """Object-mode local pass: per-edge F' over the plan, no CSR math."""
+        plan = self.plan
+        index = self._index
+        owned = self._owned_mask
+        counters = self.counters
+        pend = self._pend
+        pend_has = self._pend_has
+        changed = 0
+        magnitude = 0.0
+        ops = 0
+        edges_applied = 0
+        for key in keys:
+            i = index[key]
+            if not pend_has[i]:
+                continue
+            pend_has[i] = False
+            tmp = pend[i]
+            did_change, delta_mag = self._accumulate_idx(i, tmp)
+            ops += 1
+            if not did_change:
+                continue
+            changed += 1
+            magnitude += delta_mag
+            for dst, params, fn in plan.edges_from(key):
+                value = fn(tmp, *params)
+                ops += 1
+                edges_applied += 1
+                d = index[dst]
+                if owned is None or owned[d]:
+                    self._push_idx(d, value)
+                else:
+                    emit(dst, value, ops)
+        counters.fprime_applications += edges_applied
+        return BatchResult(changed=changed, magnitude=magnitude, ops=ops)
+
     def _apply_local(self, keys: list, emit: Optional[Callable]) -> BatchResult:
+        if self._object_mode:
+            return self._apply_local_scalar(keys, emit)
         csr = self._csr
         key_names = self._keys
         owned = self._owned_mask
@@ -592,6 +645,9 @@ class NumpyKernel(Kernel):
     def full_contributions(cls, plan, values: dict) -> list:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
+        if not plan.aggregate.numeric_values:
+            # non-numeric carriers cannot ride the float64 CSR sweep
+            return PythonKernel.full_contributions(plan, values)
         csr = plan_csr(plan)
         index = csr.index
         m = len(values)
@@ -621,8 +677,8 @@ class NumpyKernel(Kernel):
     def fold_contributions(cls, aggregate, contributions, counters=None) -> dict:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
-        name = aggregate.name
-        if name not in ("min", "max") and aggregate.kind.value != "additive":
+        mode = aggregate.fold_mode if aggregate.numeric_values else None
+        if mode not in ("min", "max", "sum"):
             return PythonKernel.fold_contributions(
                 aggregate, contributions, counters
             )
@@ -636,9 +692,9 @@ class NumpyKernel(Kernel):
             return {}
         code_arr = np.asarray(codes, dtype=np.int64)
         val_arr = np.asarray(raw_vals, dtype=np.float64)
-        if aggregate.kind.value == "additive":
+        if mode == "sum":
             folded = np.bincount(code_arr, weights=val_arr, minlength=len(index))
-        elif name == "min":
+        elif mode == "min":
             folded = np.full(len(index), np.inf)
             np.minimum.at(folded, code_arr, val_arr)
         else:
@@ -652,7 +708,8 @@ class NumpyKernel(Kernel):
     def improve_contributions(cls, aggregate, current, contributions, counters=None) -> dict:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
-        if aggregate.name not in ("min", "max"):
+        mode = aggregate.fold_mode if aggregate.numeric_values else None
+        if mode not in ("min", "max"):
             return PythonKernel.improve_contributions(
                 aggregate, current, contributions, counters
             )
@@ -685,8 +742,9 @@ class NumpyKernel(Kernel):
     def pending_magnitude(self) -> float:
         delta_magnitude = self.aggregate.delta_magnitude
         pend = self._pend
+        cast = self._cast
         return sum(
-            delta_magnitude(float(pend[i])) for i in self._pend_indices()
+            delta_magnitude(cast(pend[i])) for i in self._pend_indices()
         )
 
     def pending_min(self) -> float:
@@ -714,10 +772,11 @@ class NumpyKernel(Kernel):
         return self.accumulated
 
     def global_accumulation(self) -> float:
+        magnitude = self.aggregate.delta_magnitude
         acc = self._acc
         total = 0.0
         for i in self._acc_order:
-            total += abs(float(acc[i]))
+            total += magnitude(acc[i])
         return total
 
     # -- checkpointing / recovery -----------------------------------------------

@@ -99,9 +99,7 @@ class PythonKernel(Kernel):
             return False, 0.0
         self.accumulated[key] = new
         self.counters.updates += 1
-        if aggregate.is_idempotent:
-            return True, abs(new - old)
-        return True, aggregate.delta_magnitude(tmp)
+        return True, aggregate.change_magnitude(new, old, tmp)
 
     # -- the inner loop ---------------------------------------------------------
     def apply_batch(
@@ -256,10 +254,11 @@ class PythonKernel(Kernel):
         return dict(self.accumulated)
 
     def global_accumulation(self) -> float:
+        magnitude = self.aggregate.delta_magnitude
         total = 0.0
         for value in self.accumulated.values():
             if value is not None:
-                total += abs(float(value))
+                total += magnitude(value)
         return total
 
     # -- checkpointing / recovery -----------------------------------------------

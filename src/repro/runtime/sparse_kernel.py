@@ -232,6 +232,13 @@ class SparseKernel(NumpyKernel):
 
     backend = "sparse"
 
+    @classmethod
+    def supports_plan(cls, plan) -> bool:
+        """Frontier compaction and value buckets live in float64 arrays,
+        so non-numeric semiring carriers (k-tropical ``KTuple``) are
+        refused; callers fall back to the python/numpy object paths."""
+        return plan.aggregate.numeric_values
+
     def __init__(
         self,
         plan,
@@ -241,6 +248,11 @@ class SparseKernel(NumpyKernel):
     ):
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"SparseKernel: {NUMPY_INSTALL_HINT}")
+        if not self.supports_plan(plan):
+            raise KernelUnavailableError(
+                f"{type(self).__name__}: aggregate {plan.aggregate.name!r} has a "
+                "non-numeric semiring carrier; use the python or numpy backend"
+            )
         fast_plan_csr(plan)  # prime the shared CSR cache via the fast packer
         super().__init__(plan, keys=keys, counters=counters, initial=initial)
         #: number of live pending entries (the compacted frontier size)

@@ -46,6 +46,8 @@ class AgreementCheck:
     #: "full" (cold run) or "resume" (checkpoint-restored recomputation)
     kind: str
     agreed: bool
+    #: worst per-vertex error, relative to max(1, |reference|) so huge
+    #: additive carriers (path_count) are judged at their own scale
     max_error: float
     tolerance: float
 
@@ -136,7 +138,19 @@ def _check_agreement(service, outcome, config, seed) -> list:
             if ref_value is None or got_value is None:
                 max_error = float("inf")
                 break
-            max_error = max(max_error, abs(float(got_value) - float(ref_value)))
+            if not aggregate.numeric_values:
+                # non-numeric carriers (e.g. kpaths' KTuple) have no
+                # distance metric: the answer either matches or it doesn't
+                if got_value != ref_value:
+                    max_error = float("inf")
+                    break
+                continue
+            # scale-aware error: additive fixpoints whose values exceed
+            # 2^53 (path_count) accumulate ULP-level reordering noise, so
+            # the absolute tolerance must grow with the value's magnitude
+            denominator = max(1.0, abs(float(ref_value)))
+            error = abs(float(got_value) - float(ref_value)) / denominator
+            max_error = max(max_error, error)
         checks.append(
             AgreementCheck(
                 program=program,

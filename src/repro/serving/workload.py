@@ -25,9 +25,19 @@ DEFAULT_TENANTS = (
 )
 
 #: default query mix: one selective program (min), one epsilon program
-#: (sum) and one exact additive program -- the chaos matrix's coverage,
-#: now as mixed traffic
-DEFAULT_PROGRAM_MIX = (("sssp", 0.5), ("pagerank", 0.3), ("dag_paths", 0.2))
+#: (sum), one exact additive program -- the chaos matrix's coverage --
+#: plus the four semiring families (boolean, counting, k-tropical,
+#: Viterbi) as minority traffic, so admission control, caching and
+#: delta repair all see non-numeric and non-tropical carriers
+DEFAULT_PROGRAM_MIX = (
+    ("sssp", 0.35),
+    ("pagerank", 0.25),
+    ("dag_paths", 0.15),
+    ("why_reach", 0.08),
+    ("path_count", 0.07),
+    ("kpaths", 0.05),
+    ("reach_prob", 0.05),
+)
 
 #: default engine-backend mix the requests fan out over
 DEFAULT_ENGINE_MIX = (("sync", 0.6), ("async", 0.4))

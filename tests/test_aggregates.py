@@ -22,8 +22,17 @@ COMMUTATIVE_ASSOCIATIVE = [MIN, MAX, SUM, COUNT]
 
 
 class TestRegistry:
-    def test_all_five_present(self):
-        assert set(BUILTIN_AGGREGATES) == {"min", "max", "sum", "count", "mean"}
+    def test_all_builtins_present(self):
+        assert set(BUILTIN_AGGREGATES) == {
+            "min",
+            "max",
+            "sum",
+            "count",
+            "or",
+            "best",
+            "topk",
+            "mean",
+        }
 
     def test_lookup(self):
         assert get_aggregate("min") is MIN
@@ -128,3 +137,45 @@ class TestRuntimePredicates:
         assert MIN.kind is AggregateKind.SELECTIVE
         assert SUM.kind is AggregateKind.ADDITIVE
         assert MEAN.kind is AggregateKind.OTHER
+
+
+class TestCombineManyFold:
+    """The left-fold contract: single pass, identity honored, order pinned."""
+
+    def test_single_pass_over_one_shot_iterator(self):
+        # an identity-free aggregate must still fold a generator lazily
+        # (the old implementation could not distinguish "no identity"
+        # from "nothing seen yet" without a second materialization)
+        seen = []
+
+        def stream():
+            for v in (4.0, 8.0, 2.0):
+                seen.append(v)
+                yield v
+
+        assert MEAN.combine_many(stream()) == MEAN.combine(MEAN.combine(4.0, 8.0), 2.0)
+        assert seen == [4.0, 8.0, 2.0]
+
+    def test_fold_order_non_commutative(self):
+        # pin strict left-fold order with a deliberately non-commutative ⊕
+        from repro.aggregates import Aggregate
+
+        concat = Aggregate(
+            name="concat",
+            kind=AggregateKind.OTHER,
+            identity=None,
+            combine=lambda a, b: f"({a}.{b})",
+            subtract=lambda new, old: None,
+            is_commutative=False,
+            is_associative=True,
+        )
+        assert concat.combine_many(iter("abc")) == "((a.b).c)"
+
+    def test_empty_input_yields_identity_when_present(self):
+        assert SUM.combine_many(iter(())) == 0
+        assert MIN.combine_many(iter(())) == math.inf
+
+    def test_identity_start_unchanged_for_semiring_folds(self):
+        # starting from the first value is equivalent to starting from 0̄
+        assert MIN.combine_many([5]) == MIN.combine(MIN.identity, 5)
+        assert SUM.combine_many([5]) == SUM.combine(SUM.identity, 5)

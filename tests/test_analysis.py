@@ -331,8 +331,10 @@ class TestPipelineReports:
         for name, spec in PROGRAMS.items():
             report = analyze_source(spec.source, name=name)
             assert report.ok, f"{name}: {codes_of(report)}"
+            # RA310 (async-ineligible) and RA342 (⊗ outside the certified
+            # pattern table) flag the same two neural programs by design
             assert not [d for d in report.diagnostics if d.severity is Severity.WARNING
-                        and d.code != "RA310"], name
+                        and d.code not in ("RA310", "RA342")], name
 
     def test_syntax_error_is_a_diagnostic(self):
         report = report_for("p(X, v) :- ???")

@@ -42,14 +42,14 @@ class TestFormatting:
 class TestTable1Runner:
     def test_full_agreement(self):
         report = run_table1()
-        assert len(report.rows) == 14
+        assert len(report.rows) == 18
         assert all(row["MRA sat."] == row["paper"] for row in report.rows)
-        assert "14/14" in report.text
+        assert "18/18" in report.text
 
     def test_scripts_emitted_on_request(self):
         report = run_table1(emit_scripts=True)
         scripts = report.scripts
-        assert len(scripts) == 14
+        assert len(scripts) == 18
         assert "(check-sat)" in scripts["pagerank"]
 
 

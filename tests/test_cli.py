@@ -68,6 +68,8 @@ class TestListing:
         assert main(["programs"]) == 0
         out = capsys.readouterr().out
         assert "GCN-Forward" in out and "SSSP" in out
+        # the listing names each program's semiring and its law summary
+        assert "k-tropical" in out and "⊕-idem,ordered" in out
 
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0
@@ -79,7 +81,7 @@ class TestExperiment:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0
         out = capsys.readouterr().out
-        assert "14/14" in out
+        assert "18/18" in out
 
     def test_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0

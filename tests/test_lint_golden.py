@@ -25,11 +25,14 @@ REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
 
 EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.dl"))
 
-# bad examples fail plain lint; the async-ineligible one only fails gated
+# bad examples fail plain lint; the async-ineligible one only fails
+# gated, and the two semiring-violation seeds warn without failing
 EXPECTED_EXIT = {
     "bad_unstratifiable": 1,
     "bad_unbound": 1,
     "bad_async_ineligible": 0,
+    "bad_mean_semiring": 0,
+    "bad_uncertified_times": 0,
 }
 
 
@@ -100,6 +103,18 @@ class TestStableCodes:
     def test_async_ineligible(self, capsys):
         self.expect_codes(capsys, "bad_async_ineligible", {"RA310", "RA302"})
 
+    def test_mean_is_no_semiring(self, capsys):
+        # mean's ⊕ is not associative: no semiring, nothing conditioned
+        # on one (RA341 and the RA322/RA331 downgrades travel together)
+        self.expect_codes(
+            capsys, "bad_mean_semiring", {"RA341", "RA322", "RA331"}
+        )
+
+    def test_uncertified_times(self, capsys):
+        # declared ⊕-semiring but an F' outside the pattern table: the
+        # ⊗ obligation is not structurally discharged
+        self.expect_codes(capsys, "bad_uncertified_times", {"RA342", "RA310"})
+
 
 class TestIncrementalCodes:
     """RA32x incremental-maintainability verdicts per registry program.
@@ -110,9 +125,9 @@ class TestIncrementalCodes:
     """
 
     #: selective fixpoints: deletions re-derive, inserts take the frontier
-    FULL = {"sssp", "cc", "viterbi", "lca", "apsp"}
+    FULL = {"sssp", "cc", "viterbi", "lca", "apsp", "why_reach", "kpaths", "reach_prob"}
     #: additive fixpoints: insert-only fast path, deletions recompute
-    INSERT_ONLY = {"dag_paths", "cost"}
+    INSERT_ONLY = {"dag_paths", "cost", "path_count"}
 
     def verdict_of(self, capsys, name):
         _, payload = lint_json(capsys, name)
@@ -157,8 +172,10 @@ class TestFrontierCodes:
     layer's refusal path, so it is pinned here.
     """
 
-    #: selective idempotent fixpoints: value buckets are exact
-    DELTA_STEPPING = {"sssp", "cc", "viterbi", "lca", "apsp"}
+    #: selective idempotent fixpoints over numeric carriers: value
+    #: buckets are exact (kpaths is selective but its KTuple carrier
+    #: cannot key float buckets, so it stays compaction-only)
+    DELTA_STEPPING = {"sssp", "cc", "viterbi", "lca", "apsp", "why_reach", "reach_prob"}
 
     def verdict_of(self, capsys, name):
         _, payload = lint_json(capsys, name)

@@ -8,13 +8,14 @@ from repro.programs import builders
 
 
 class TestRegistry:
-    def test_fourteen_programs(self):
-        assert len(PROGRAMS) == 14
+    def test_registry_size(self):
+        # 14 Table-1 programs + 4 semiring-family extensions
+        assert len(PROGRAMS) == 18
 
     def test_table1_split(self):
         passing = [n for n, s in PROGRAMS.items() if s.expected_mra]
         failing = [n for n, s in PROGRAMS.items() if not s.expected_mra]
-        assert len(passing) == 12
+        assert len(passing) == 16
         assert sorted(failing) == ["commnet", "gcn"]
 
     def test_benchmarked_six(self):
@@ -39,6 +40,8 @@ class TestRegistry:
             "dag_paths": "count", "cost": "sum", "viterbi": "max",
             "simrank": "sum", "lca": "min", "apsp": "min",
             "commnet": "sum", "gcn": "sum",
+            "why_reach": "or", "path_count": "sum",
+            "kpaths": "topk", "reach_prob": "best",
         }
         assert {n: s.aggregator for n, s in PROGRAMS.items()} == expected
 
@@ -107,7 +110,7 @@ class TestPlansCompile:
     )
     def test_vertex_programs_compile(self, name):
         graph = rmat(25, 100, seed=63)
-        if name in ("dag_paths", "cost", "viterbi"):
+        if name in ("dag_paths", "cost", "viterbi", "path_count"):
             graph = random_dag(25, 80, seed=63)
         plan = PROGRAMS[name].plan(graph)
         assert plan.keys

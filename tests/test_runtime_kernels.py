@@ -96,6 +96,30 @@ class TestBackendResolution:
         monkeypatch.setenv(BACKEND_ENV_VAR, "python")
         assert MRAEvaluator(plan).backend == "python"
 
+    def test_plan_resolution_keeps_numeric_preference(self, plan):
+        from repro.runtime import resolve_backend_for_plan
+
+        # numeric carriers resolve to the preference unchanged
+        assert resolve_backend_for_plan(plan, "python") == "python"
+        if HAVE_NUMPY:
+            assert resolve_backend_for_plan(plan, "sparse") == "sparse"
+
+    def test_plan_resolution_degrades_nonnumeric_carrier(self, monkeypatch):
+        from repro.distributed.chaos_harness import default_graph
+        from repro.programs import PROGRAMS
+        from repro.runtime import resolve_backend_for_plan
+
+        kplan = PROGRAMS["kpaths"].plan(default_graph("kpaths", seed=7))
+        # a float64-backend preference cannot hold KTuple values: the
+        # run degrades to the best object-capable backend instead of
+        # crashing (numpy when installed, else python)
+        expected = "numpy" if HAVE_NUMPY else "python"
+        if HAVE_NUMPY:
+            assert resolve_backend_for_plan(kplan, "sparse") == expected
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse" if HAVE_NUMPY else "python")
+        assert resolve_backend_for_plan(kplan, None) == expected
+        assert MRAEvaluator(kplan).backend == expected
+
 
 class TestOptionalNumpy:
     def test_missing_numpy_proxy_raises_clean_import_error(self):

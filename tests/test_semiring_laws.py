@@ -1,0 +1,219 @@
+"""Machine-checked semiring laws for every registered instance.
+
+The law flags on :class:`repro.aggregates.Semiring` are consumed as
+proof obligations by the rest of the system -- the MonoTable prunes on
+``plus_idempotent``, the delta layer picks repair strategies from
+``plus_invertible``, the prescreen discharges ``times_monotone`` -- so
+an instance shipping with a lying flag would silently corrupt
+fixpoints.  This suite quantifies every law over each instance's
+declared ``samples`` carrier with Hypothesis, including the flags that
+are *supposed* to be off (counting's non-idempotence has a pinned
+counterexample, not just an unchecked ``False``).
+
+The natural order used below is the algebraic one: for idempotent
+``⊕``, ``a ≼ b  ⟺  a ⊕ b = a`` (the "absorbs" order); for invertible
+``⊕`` over numbers it is plain ``≤``.  Both agree with the carrier
+comparisons the engines use.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import (
+    BUILTIN_AGGREGATES,
+    KTuple,
+    REGISTERED_SEMIRINGS,
+    get_semiring,
+)
+
+SEMIRINGS = sorted(REGISTERED_SEMIRINGS.values(), key=lambda s: s.name)
+IDS = [s.name for s in SEMIRINGS]
+
+each_semiring = pytest.mark.parametrize("semiring", SEMIRINGS, ids=IDS)
+law_settings = settings(max_examples=60, deadline=None)
+
+
+def draw_samples(data, semiring, count):
+    strategy = st.sampled_from(semiring.samples)
+    return tuple(data.draw(strategy) for _ in range(count))
+
+
+class TestMonoidLaws:
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_plus_associative(self, semiring, data):
+        a, b, c = draw_samples(data, semiring, 3)
+        assert semiring.plus(semiring.plus(a, b), c) == semiring.plus(
+            a, semiring.plus(b, c)
+        )
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_plus_commutative(self, semiring, data):
+        a, b = draw_samples(data, semiring, 2)
+        assert semiring.plus(a, b) == semiring.plus(b, a)
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_zero_is_plus_identity(self, semiring, data):
+        (a,) = draw_samples(data, semiring, 1)
+        assert semiring.plus(semiring.zero, a) == a
+        assert semiring.plus(a, semiring.zero) == a
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_one_is_times_identity(self, semiring, data):
+        (a,) = draw_samples(data, semiring, 1)
+        assert semiring.times(semiring.one, a) == a
+        assert semiring.times(a, semiring.one) == a
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_zero_annihilates_times(self, semiring, data):
+        (a,) = draw_samples(data, semiring, 1)
+        assert semiring.times(semiring.zero, a) == semiring.zero
+        assert semiring.times(a, semiring.zero) == semiring.zero
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_times_distributes_over_plus(self, semiring, data):
+        a, b, c = draw_samples(data, semiring, 3)
+        folded = semiring.times(a, semiring.plus(b, c))
+        split = semiring.plus(semiring.times(a, b), semiring.times(a, c))
+        assert folded == split
+        # right distributivity too: every registered ⊗ is commutative,
+        # but the law is stated (and consumed) two-sided
+        folded = semiring.times(semiring.plus(b, c), a)
+        split = semiring.plus(semiring.times(b, a), semiring.times(c, a))
+        assert folded == split
+
+
+class TestDeclaredFlags:
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_idempotence_where_flagged(self, semiring, data):
+        if not semiring.plus_idempotent:
+            pytest.skip("⊕ not declared idempotent")
+        (a,) = draw_samples(data, semiring, 1)
+        assert semiring.plus(a, a) == a
+
+    def test_counting_is_not_idempotent(self):
+        # the one registered non-idempotent ⊕ must actually fail the
+        # law, otherwise its False flag is untested documentation
+        counting = get_semiring("counting")
+        assert any(
+            counting.plus(a, a) != a for a in counting.samples
+        )
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_invertibility_where_flagged(self, semiring, data):
+        if not semiring.plus_invertible:
+            pytest.skip("⊕ not declared invertible")
+        a, b = draw_samples(data, semiring, 2)
+        # invertible ⊕ over a numeric carrier embeds in (ℝ, +): the
+        # delta layer's G⁻ retraction is exactly this subtraction
+        assert semiring.numeric_values
+        assert semiring.plus(a, -a) == semiring.zero
+        assert semiring.plus(semiring.plus(a, b), -b) == a
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_idempotent_numeric_plus_is_a_selection(self, semiring, data):
+        if not (semiring.plus_idempotent and semiring.numeric_values):
+            pytest.skip("selection shape only claimed for numeric ⊕-idem")
+        a, b = draw_samples(data, semiring, 2)
+        folded = semiring.plus(a, b)
+        assert folded == a or folded == b
+
+
+class TestNaturalOrder:
+    """``a ≼ b ⟺ a ⊕ b = a`` really is an order, and ⊗ respects it."""
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_absorb_order_is_a_partial_order(self, semiring, data):
+        if not (semiring.naturally_ordered and semiring.plus_idempotent):
+            pytest.skip("absorb order needs idempotent ⊕")
+        a, b, c = draw_samples(data, semiring, 3)
+        plus = semiring.plus
+        assert plus(a, a) == a  # reflexive
+        if plus(a, b) == a and plus(b, a) == b:
+            assert a == b  # antisymmetric
+        if plus(a, b) == a and plus(b, c) == b:
+            assert plus(a, c) == a  # transitive
+
+    @each_semiring
+    @law_settings
+    @given(data=st.data())
+    def test_times_monotone_where_flagged(self, semiring, data):
+        if not semiring.times_monotone:
+            pytest.skip("⊗ not declared monotone")
+        a, b, c = draw_samples(data, semiring, 3)
+        if semiring.plus_idempotent:
+            # a ≼ b ⟹ a⊗c ≼ b⊗c in the absorb order
+            if semiring.plus(a, b) == a:
+                ac, bc = semiring.times(a, c), semiring.times(b, c)
+                assert semiring.plus(ac, bc) == ac
+        else:
+            # invertible numeric carriers: the natural order is ≤
+            if a <= b:
+                assert semiring.times(a, c) <= semiring.times(b, c)
+
+
+class TestAggregateBindings:
+    """Every builtin aggregate's declared semiring is registered & consistent."""
+
+    def test_every_aggregate_names_a_registered_semiring(self):
+        for name, aggregate in BUILTIN_AGGREGATES.items():
+            semiring = aggregate.semiring
+            if name == "mean":
+                # mean's pairwise fold is not associative; it has no
+                # semiring on purpose (that is what RA341 reports)
+                assert semiring is None
+                continue
+            assert semiring is REGISTERED_SEMIRINGS[semiring.name], name
+
+    def test_aggregate_flags_mirror_semiring_flags(self):
+        for name, aggregate in BUILTIN_AGGREGATES.items():
+            semiring = aggregate.semiring
+            if semiring is None:
+                continue
+            assert aggregate.plus_idempotent == semiring.plus_idempotent, name
+            assert aggregate.plus_invertible == semiring.plus_invertible, name
+            assert aggregate.naturally_ordered == semiring.naturally_ordered, name
+            assert aggregate.numeric_values == semiring.numeric_values, name
+
+    def test_combine_agrees_with_semiring_plus(self):
+        for name, aggregate in BUILTIN_AGGREGATES.items():
+            semiring = aggregate.semiring
+            if semiring is None:
+                continue
+            for a in semiring.samples:
+                for b in semiring.samples:
+                    assert aggregate.combine(a, b) == semiring.plus(a, b), name
+
+    def test_samples_are_nonempty_for_every_instance(self):
+        # the suite above quantifies over samples; an empty tuple would
+        # vacuously pass every law, so emptiness itself is a failure
+        for name, semiring in REGISTERED_SEMIRINGS.items():
+            assert len(semiring.samples) >= 2, name
+
+    def test_ktuple_shift_matches_times(self):
+        ktropical = get_semiring("k-tropical")
+        a = KTuple((1, 4, 9))
+        # compiled F' bodies spell ⊗ as ``dx + w``; both spellings must
+        # be the same operation
+        assert a + 2.5 == a.shift(2.5)
+        assert 2.5 + a == a.shift(2.5)
+        assert ktropical.times(a, KTuple((2.5,))) == a.shift(2.5)
