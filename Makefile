@@ -35,11 +35,12 @@ lint-programs:
 		$(PYTHON) -m repro lint "$$file" || exit 1; \
 	done
 
-# strict typing is introduced module-by-module; repro.analysis is the
-# first fully typed one (mypy when available -- CI installs it)
+# strict typing is introduced module-by-module; repro.analysis and
+# repro.runtime are the fully typed set (mypy when available -- CI
+# installs it)
 typecheck:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/analysis; \
+		$(PYTHON) -m mypy src/repro/analysis src/repro/runtime; \
 	else \
 		echo "mypy not installed; skipping (CI runs the strict job)"; \
 	fi

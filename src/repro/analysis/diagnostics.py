@@ -78,6 +78,10 @@ CODES: dict[str, str] = {
     "RA340": "semiring classified",
     "RA341": "aggregate is not the ⊕ of any semiring",
     "RA342": "F' not certified against the aggregate's semiring ⊗",
+    # abstract interpretation: value range / overflow (RA35x)
+    "RA350": "value range statically bounded, float64-exact",
+    "RA351": "overflow or precision loss possible",
+    "RA352": "range analysis inconclusive",
     # sharding / communication shape (RA4xx)
     "RA401": "communication shape",
 }
@@ -162,6 +166,10 @@ class AnalysisReport:
     frontier: Optional[dict[str, Any]] = None
     #: semiring classification section (RA34x verdict)
     semiring: Optional[dict[str, Any]] = None
+    #: abstract-interpretation value-range section (RA35x verdict)
+    ranges: Optional[dict[str, Any]] = None
+    #: static cost estimate (supersteps, work, frontier, backend)
+    cost: Optional[dict[str, Any]] = None
     #: per-recursive-body communication-shape section
     communication: list[dict[str, Any]] = field(default_factory=list)
     #: predicate strata, bottom-up (EDB first), from the dependency graph
@@ -194,11 +202,15 @@ class AnalysisReport:
 
         ``gate='async'`` additionally fails programs whose Theorem-3
         certificate was refused (code RA310), so CI can require async
-        eligibility where a deployment depends on it.
+        eligibility where a deployment depends on it.  ``gate='overflow'``
+        fails programs with a proven overflow / precision-loss risk
+        (code RA351) so CI can require a float64-exactness certificate.
         """
         if self.errors():
             return 1
         if gate == "async" and any(d.code == "RA310" for d in self.diagnostics):
+            return 1
+        if gate == "overflow" and any(d.code == "RA351" for d in self.diagnostics):
             return 1
         return 0
 
@@ -233,6 +245,23 @@ class AnalysisReport:
                 f"semiring: {name} "
                 f"[{self.semiring.get('laws')}] ({self.semiring.get('code')})"
             )
+        if self.ranges is not None:
+            if self.ranges.get("bounded"):
+                lo, hi = self.ranges.get("bound", (0.0, 0.0))
+                bound = f"[{lo:g}, {hi:g}]"
+            else:
+                bound = "unbounded"
+            lines.append(
+                f"value range: {bound} via {self.ranges.get('method')} "
+                f"({self.ranges.get('code')})"
+            )
+        if self.cost is not None:
+            lines.append(
+                f"static cost: {self.cost.get('supersteps')} supersteps, "
+                f"{self.cost.get('work')} work, peak frontier "
+                f"{self.cost.get('peak_frontier_fraction'):.3f} "
+                f"-> backend {self.cost.get('recommended_backend')}"
+            )
         for entry in self.communication:
             shape = "co-partitioned" if entry.get("co_partitionable") else "cross-worker"
             lines.append(
@@ -254,6 +283,8 @@ class AnalysisReport:
             "incremental": self.incremental,
             "frontier": self.frontier,
             "semiring": self.semiring,
+            "ranges": self.ranges,
+            "cost": self.cost,
             "communication": self.communication,
             "strata": self.strata,
         }

@@ -12,7 +12,9 @@ program usable):
 6. theorem-1 pre-screen (RA301/RA302), theorem-3 async certification
    (RA310/RA311), incremental-maintainability classification
    (RA320/RA321/RA322), sparse-frontier scheduling applicability
-   (RA330/RA331), semiring classification (RA340/RA341/RA342) and
+   (RA330/RA331), semiring classification (RA340/RA341/RA342),
+   abstract-interpretation value-range / overflow certification
+   (RA350/RA351/RA352) with the static cost estimate, and
    communication-shape analysis (RA401).
 
 Every pass appends to one :class:`~repro.analysis.diagnostics.AnalysisReport`.
@@ -136,6 +138,26 @@ def analyze_program(
             f"sparse frontier: {frontier.mode} ({frontier.detail})",
         )
     )
+
+    # -- value range / overflow certification (abstract interpretation) ----
+    from repro.analysis.absint import (
+        analyze_plan_range,
+        analyze_symbolic_range,
+        estimate_plan_cost,
+        summarize_plan,
+    )
+
+    if plan is not None:
+        summary = summarize_plan(plan)
+        ranges = analyze_plan_range(plan, summary)
+        cost = estimate_plan_cost(plan, summary)
+        report.ranges = ranges.to_dict()
+        report.ranges["graph"] = summary.to_dict()
+        report.cost = cost.to_dict()
+    else:
+        ranges = analyze_symbolic_range(analysis)
+        report.ranges = ranges.to_dict()
+    report.add(ranges.diagnostic())
 
     # -- communication shape ----------------------------------------------
     estimate = (

@@ -18,6 +18,13 @@ from repro.checker.refuter import (
 )
 from repro.checker.report import CheckReport, PropertyResult, Status
 
+#: aggregates whose carriers can genuinely overflow or lose precision
+#: (counting, Viterbi-style probability products, k-tropical top-k);
+#: programs over these carriers with a *proven* growth risk (RA351 from
+#: the abstract interpreter) are denied the structural fast path and
+#: must survive the full prover/refuter instead
+_RANGE_GATED_AGGREGATES = frozenset({"sum", "count", "max", "topk"})
+
 
 def _prescreen_report(analysis: ProgramAnalysis) -> "CheckReport | None":
     """Fast path: the Theorem-1 structural pre-screen of ``repro.analysis``.
@@ -27,6 +34,11 @@ def _prescreen_report(analysis: ProgramAnalysis) -> "CheckReport | None":
     skipped entirely.  Soundness (pre-screen eligible implies the full
     checker would also say MRA-satisfiable) is regression-tested over
     the whole program registry.
+
+    Counting / Viterbi / k-tropical carriers get one extra gate: when
+    the symbolic range analysis *proves* unbounded growth with nothing
+    terminating the run (RA351), the fast path refuses to rubber-stamp
+    the program and the full checker machinery runs instead.
     """
     from repro.analysis.prescreen import prescreen
 
@@ -34,6 +46,11 @@ def _prescreen_report(analysis: ProgramAnalysis) -> "CheckReport | None":
     if not verdict.eligible:
         return None
     aggregate = analysis.aggregate
+    if aggregate.name in _RANGE_GATED_AGGREGATES:
+        from repro.analysis.absint import analyze_symbolic_range
+
+        if analyze_symbolic_range(analysis).code == "RA351":
+            return None
     method = f"structural:prescreen({verdict.pattern})"
     property1 = PropertyResult(
         property_name="property1",

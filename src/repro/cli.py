@@ -6,8 +6,10 @@ Commands:
   lints, Theorem-1 pre-screen, Theorem-3 async certificate,
   communication shape) over Datalog files / library programs;
   ``--format json`` emits machine-readable reports, ``--gate async``
-  fails uncertified programs, ``--exact`` counts cross-worker edges on
-  the compiled plan;
+  fails uncertified programs, ``--gate overflow`` fails programs with a
+  proven RA351 overflow risk; library programs compile against their
+  default graph so the RA35x range certificate, the ``cost`` section
+  and the cross-worker census are concrete;
 * ``check FILE|PROGRAM``  -- run the automatic MRA condition checker on a
   Datalog source file (or a library program name); ``--smt2`` also emits
   the Figure-4 Z3 script;
@@ -22,8 +24,10 @@ Commands:
   the program's fixpoint incrementally, verify exactness against a
   from-scratch run and report the repair statistics;
 
-Engine-running commands accept ``--backend {python,numpy}`` to pick the
-vertex-runtime kernel (default: ``REPRO_BACKEND``, else ``python``).
+Engine-running commands accept ``--backend`` to pick the vertex-runtime
+kernel (default: ``REPRO_BACKEND``, else ``python``); ``--backend auto``
+defers to the static cost model, which routes predicted sparse-frontier
+plans to ``sparse`` and dense ones to ``numpy``.
 * ``chaos``               -- run the fault-injection recovery harness:
   chaotic executions (crashes, drops, duplicates, reordering) must
   reach the same fixpoint as fault-free references;
@@ -152,7 +156,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
     for target in args.targets:
         name, source = _lint_target(target)
         plan = None
-        if args.exact and name in PROGRAMS:
+        if name in PROGRAMS:
+            # library programs always lint against their default graph:
+            # the RA35x range certificate and the cost section need a
+            # compiled plan to be concrete (file targets stay symbolic)
             from repro.distributed.chaos_harness import default_graph
 
             plan = PROGRAMS[name].plan(default_graph(name, seed=args.seed))
@@ -430,6 +437,15 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print("communication shape (hash-partitioned plan):")
         for key, value in sorted(comm.items()):
             print(f"  {key:28s} {value:g}")
+    cost = {
+        key: value
+        for key, value in snapshot["gauges"].items()
+        if key.split("{", 1)[0].startswith("cost_")
+    }
+    if cost:
+        print("static cost estimate (abstract interpretation):")
+        for key, value in sorted(cost.items()):
+            print(f"  {key:28s} {value:g}")
     series_found = False
     for labels, series in metrics.gauge_series("buffer.beta"):
         if not series_found:
@@ -646,10 +662,12 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 def _add_backend(subparser) -> None:
     subparser.add_argument(
         "--backend",
-        choices=sorted(KERNELS),
+        choices=sorted([*KERNELS, "auto"]),
         help=(
             "execution kernel for the vertex runtime (default: the "
-            f"{BACKEND_ENV_VAR} environment variable, else 'python')"
+            f"{BACKEND_ENV_VAR} environment variable, else 'python'); "
+            "'auto' lets the static cost model pick sparse or numpy "
+            "per plan"
         ),
     )
 
@@ -681,15 +699,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--gate",
         default="none",
-        choices=["none", "async"],
-        help="'async' also fails programs without a Theorem-3 certificate",
+        choices=["none", "async", "overflow"],
+        help=(
+            "'async' also fails programs without a Theorem-3 certificate; "
+            "'overflow' fails programs with a proven RA351 overflow risk"
+        ),
     )
     lint.add_argument(
         "--exact",
         action="store_true",
         help=(
-            "compile library programs against their default graph and "
-            "count cross-worker edges exactly"
+            "kept for compatibility: library programs now always compile "
+            "against their default graph (exact cross-worker census, "
+            "concrete RA35x range and cost sections)"
         ),
     )
     lint.add_argument("--seed", type=int, default=7)

@@ -432,6 +432,10 @@ class SyncEngine:
             backend=state.backend,
         )
         if obs.enabled:
+            from repro.analysis.absint import (
+                estimate_plan_cost,
+                record_cost_metrics,
+            )
             from repro.analysis.comm import record_comm_metrics
 
             obs.metrics.absorb_work_counters(counters, engine=result.engine)
@@ -439,6 +443,7 @@ class SyncEngine:
             record_comm_metrics(
                 obs.metrics, self.plan, self.cluster.num_workers
             )
+            record_cost_metrics(obs.metrics, estimate_plan_cost(self.plan))
             result.metrics = obs.metrics
         return result
 

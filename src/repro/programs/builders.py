@@ -8,6 +8,13 @@ recursions contractive at our graph scale, preserving the convergent
 regime of the paper's runs), probability-weighted DAGs for
 Cost/Viterbi, parent trees for LCA, and in-neighbour predecessor
 relations for SimRank.
+
+Counting inputs are certified rather than clamped:
+:func:`multiplicity_dag_db` proves the exact walk-count bound of its
+output (via the RA35x abstract interpreter's
+:func:`~repro.analysis.absint.counting_walk_bound`) and raises with the
+RA351 verdict when float64 exactness cannot be guaranteed, instead of
+relying on a multiplicity clamp to keep counts small.
 """
 
 from __future__ import annotations
@@ -115,26 +122,38 @@ def dag_db(graph: Graph) -> Database:
 
 
 def multiplicity_dag_db(graph: Graph) -> Database:
-    """DAG with small integer edge multiplicities for weighted counting.
+    """DAG with integer edge multiplicities for weighted counting.
 
-    Multiplicities stay in ``[1, 3]`` so walk counts remain exactly
-    representable in float64 (the counting semiring's carrier on the
-    vectorized backends) at reproduction scale.  As in :func:`dag_db`,
+    Float64 exactness is *certified*, not assumed: the builder computes
+    the exact counting-semiring walk bound of the emitted forward
+    sub-DAG (:func:`repro.analysis.absint.counting_walk_bound` -- the
+    same number the RA35x range analysis proves for ``path_count``) and
+    refuses any input whose counts could leave the exact-integer range,
+    instead of clamping multiplicities and silently trusting the clamp.
+    Statically bounded inputs run unclamped.  As in :func:`dag_db`,
     cyclic inputs are canonicalised to the forward sub-DAG (``src <
     dst``) so the counting fixpoint terminates.
     """
+    from repro.analysis.absint import FLOAT64_EXACT_LIMIT, counting_walk_bound
+
     multiplicities = (
         graph.weights if graph.weights is not None else graph.generate_weights(1, 3)
     )
+    rows = [
+        (src, dst, m)
+        for (src, dst), m in zip(graph.edges, multiplicities)
+        if src < dst
+    ]
+    bound = counting_walk_bound(rows)
+    if bound >= FLOAT64_EXACT_LIMIT:
+        raise ValueError(
+            f"RA351: walk counts reach {bound:g} >= 2**53 on this "
+            "multiplicity DAG; the counting semiring's float64 carrier "
+            "would lose precision.  Shrink the graph or its "
+            "multiplicities -- the builder no longer saturates silently."
+        )
     db = Database()
-    db.add_facts(
-        "edge",
-        [
-            (src, dst, m)
-            for (src, dst), m in zip(graph.edges, multiplicities)
-            if src < dst
-        ],
-    )
+    db.add_facts("edge", rows)
     db.add_facts("node", [(v,) for v in graph.vertices()])
     return db
 

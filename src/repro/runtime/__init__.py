@@ -5,12 +5,14 @@ See :mod:`repro.runtime.base` for the contract and DESIGN.md
 """
 
 from repro.runtime.base import (
+    AUTO_BACKEND,
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
     KERNELS,
     BatchResult,
     Kernel,
     KernelUnavailableError,
+    auto_backend_for_plan,
     available_backends,
     get_kernel,
     record_backend_metrics,
@@ -29,6 +31,7 @@ from repro.runtime.sparse_kernel import SparseKernel
 from repro.runtime.jit_kernel import JitKernel
 
 __all__ = [
+    "AUTO_BACKEND",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "KERNELS",
@@ -41,6 +44,7 @@ __all__ = [
     "NumpyKernel",
     "PythonKernel",
     "SparseKernel",
+    "auto_backend_for_plan",
     "available_backends",
     "get_kernel",
     "numpy_version",

@@ -19,7 +19,11 @@ Both are engineered to be *bit-identical*: same fixpoint values, same
 ``WorkCounters``, same simulated timing, same fault accounting (see
 DESIGN.md, "Runtime layer").  The backend is chosen per engine
 (``backend=``), per process (``REPRO_BACKEND``), or per CLI invocation
-(``--backend``).
+(``--backend``).  The special name ``auto`` defers the choice to the
+static cost model: plans the frontier pass certifies for bucketed
+delta-stepping (RA330) resolve to ``sparse``, dense plans to ``numpy``
+(matching the BENCH_kernels crossover), with availability and carrier
+support still honoured.
 
 Unified work accounting
 -----------------------
@@ -46,7 +50,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, TypeVar
 
 from repro.engine.result import WorkCounters
 from repro.runtime.compat import NUMPY_INSTALL_HINT
@@ -55,6 +59,9 @@ DEFAULT_BACKEND = "python"
 
 #: environment variable consulted when no explicit backend is given
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: pseudo-backend: resolved per plan by the static cost model
+AUTO_BACKEND = "auto"
 
 
 class KernelUnavailableError(ImportError):
@@ -91,11 +98,17 @@ class Kernel:
     #: shown by :func:`get_kernel` when the backend cannot run here
     install_hint = NUMPY_INSTALL_HINT
 
+    #: the plan's aggregate (semiring ⊕); set by concrete ``__init__``s
+    aggregate: Any
+
+    #: unified work accounting (see module docstring)
+    counters: WorkCounters
+
     # -- construction -----------------------------------------------------------
     @classmethod
     def from_plan(
         cls,
-        plan,
+        plan: Any,
         keys: Optional[Iterable] = None,
         counters: Optional[WorkCounters] = None,
         initial: Optional[dict] = None,
@@ -108,7 +121,7 @@ class Kernel:
         return True
 
     @classmethod
-    def supports_plan(cls, plan) -> bool:
+    def supports_plan(cls, plan: Any) -> bool:
         """Can this backend execute ``plan``'s semiring carrier?
 
         The default is universal support.  Backends whose state lives in
@@ -121,7 +134,7 @@ class Kernel:
 
     # -- ΔX¹ (section 3.3) ------------------------------------------------------
     @classmethod
-    def initial_delta(cls, plan) -> dict:
+    def initial_delta(cls, plan: Any) -> dict:
         """``ΔX¹`` such that ``X¹ = G(ΔX¹ ∪ X⁰)`` (section 3.3).
 
         The reference implementation lives in
@@ -136,20 +149,20 @@ class Kernel:
         return compute_initial_delta(plan)
 
     # -- MonoTable protocol (Figure 7) ------------------------------------------
-    def push(self, key, value) -> None:
+    def push(self, key: Any, value: Any) -> None:
         raise NotImplementedError
 
     def push_many(self, deltas: Iterable[tuple]) -> None:
         for key, value in deltas:
             self.push(key, value)
 
-    def fetch_and_reset(self, key):
+    def fetch_and_reset(self, key: Any) -> Any:
         raise NotImplementedError
 
     def drain_all(self) -> dict:
         raise NotImplementedError
 
-    def accumulate(self, key, tmp) -> tuple[bool, float]:
+    def accumulate(self, key: Any, tmp: Any) -> tuple[bool, float]:
         raise NotImplementedError
 
     # -- the inner loop ---------------------------------------------------------
@@ -191,7 +204,7 @@ class Kernel:
 
     # -- whole-table sweep (naive BSP mode) -------------------------------------
     @classmethod
-    def full_contributions(cls, plan, values: dict) -> list:
+    def full_contributions(cls, plan: Any, values: dict) -> list:
         """``F'(x)`` along every out-edge of every valued key.
 
         Returns ``(src, dst, value)`` triples in the iteration order of
@@ -204,7 +217,10 @@ class Kernel:
     # -- relational-path helpers ------------------------------------------------
     @classmethod
     def fold_contributions(
-        cls, aggregate, contributions: list, counters: Optional[WorkCounters] = None
+        cls,
+        aggregate: Any,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
     ) -> dict:
         """Group-and-fold ``(key, value)`` pairs with ``g`` in arrival order."""
         raise NotImplementedError
@@ -212,7 +228,7 @@ class Kernel:
     @classmethod
     def improve_contributions(
         cls,
-        aggregate,
+        aggregate: Any,
         current: dict,
         contributions: list,
         counters: Optional[WorkCounters] = None,
@@ -276,10 +292,10 @@ class Kernel:
         for key, value in other.drain_all().items():
             self.push(key, value)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.result())
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"{type(self).__name__}({self.aggregate.name}: "
             f"{len(self)} rows, {self.pending_count()} pending)"
@@ -288,10 +304,12 @@ class Kernel:
 
 # -- backend registry ---------------------------------------------------------
 
-KERNELS: dict[str, type] = {}
+KERNELS: dict[str, "type[Kernel]"] = {}
+
+_KernelClass = TypeVar("_KernelClass", bound="type[Kernel]")
 
 
-def register_kernel(cls: type) -> type:
+def register_kernel(cls: _KernelClass) -> _KernelClass:
     KERNELS[cls.backend] = cls
     return cls
 
@@ -301,18 +319,49 @@ def available_backends() -> list[str]:
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
-    """Pick the backend: explicit argument > ``REPRO_BACKEND`` > default."""
+    """Pick the backend: explicit argument > ``REPRO_BACKEND`` > default.
+
+    The pseudo-name ``auto`` passes through unresolved: it names a
+    *policy*, not a kernel, and only :func:`resolve_backend_for_plan`
+    can apply it (the choice depends on the plan's frontier class).
+    """
     if backend is None:
         backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
     backend = backend.strip().lower()
+    if backend == AUTO_BACKEND:
+        return AUTO_BACKEND
     if backend not in KERNELS:
         raise ValueError(
-            f"unknown backend {backend!r}; known: {sorted(KERNELS)}"
+            f"unknown backend {backend!r}; known: "
+            f"{sorted([*KERNELS, AUTO_BACKEND])}"
         )
     return backend
 
 
-def resolve_backend_for_plan(plan, backend: Optional[str] = None) -> str:
+def auto_backend_for_plan(plan: Any) -> str:
+    """The ``--backend auto`` policy: static frontier shape picks the kernel.
+
+    Programs the frontier pass certifies for bucketed delta-stepping
+    (RA330: selective idempotent ⊕ over numeric values, prescreen
+    eligible) are predicted sparse-frontier and resolve to ``sparse``;
+    everything else is predicted dense and resolves to ``numpy`` -- the
+    same split the BENCH_kernels crossover table measures.  Unavailable
+    or carrier-incompatible choices degrade through ``numpy`` then
+    ``python``.  ``plan`` may be a compiled plan or a ``ProgramAnalysis``.
+    """
+    from repro.analysis.frontier import classify_frontier
+
+    analysis = getattr(plan, "analysis", plan)
+    frontier = classify_frontier(analysis)
+    preferred = "sparse" if frontier.delta_stepping else "numpy"
+    for candidate in (preferred, "numpy", DEFAULT_BACKEND):
+        cls = KERNELS.get(candidate)
+        if cls is not None and cls.available() and cls.supports_plan(plan):
+            return candidate
+    return DEFAULT_BACKEND
+
+
+def resolve_backend_for_plan(plan: Any, backend: Optional[str] = None) -> str:
     """Resolve ``backend`` for one program, honouring its semiring carrier.
 
     A backend name is a *preference* (CLI flag, ``REPRO_BACKEND``, an
@@ -324,9 +373,12 @@ def resolve_backend_for_plan(plan, backend: Optional[str] = None) -> str:
     run; numeric programs always resolve to the preference unchanged.
 
     ``plan`` may be anything with an ``aggregate`` attribute (a
-    compiled plan or a :class:`ProgramAnalysis`).
+    compiled plan or a :class:`ProgramAnalysis`).  The pseudo-name
+    ``auto`` resolves here through :func:`auto_backend_for_plan`.
     """
     name = resolve_backend(backend)
+    if name == AUTO_BACKEND:
+        return auto_backend_for_plan(plan)
     cls = KERNELS[name]
     if not cls.available() or cls.supports_plan(plan):
         # unavailable backends are not degraded: the caller's
@@ -347,6 +399,11 @@ def resolve_backend_for_plan(plan, backend: Optional[str] = None) -> str:
 def get_kernel(backend: Optional[str] = None) -> type:
     """Resolve a backend name to its kernel class, checking availability."""
     name = resolve_backend(backend)
+    if name == AUTO_BACKEND:
+        raise ValueError(
+            "backend 'auto' names a per-plan policy; resolve it with "
+            "resolve_backend_for_plan(plan, 'auto') before get_kernel"
+        )
     cls = KERNELS[name]
     if not cls.available():
         raise KernelUnavailableError(
@@ -355,11 +412,11 @@ def get_kernel(backend: Optional[str] = None) -> type:
     return cls
 
 
-def record_backend_metrics(metrics, engine: str, backend: str) -> None:
+def record_backend_metrics(metrics: Any, engine: str, backend: str) -> None:
     """Record which backend produced a run in the metrics registry."""
     from repro.runtime.compat import numpy_version
 
-    labels = {"engine": engine, "backend": backend}
+    labels: dict = {"engine": engine, "backend": backend}
     if backend == "numpy":
         labels["numpy_version"] = numpy_version()
     metrics.inc("runtime.backend_runs", **labels)

@@ -12,6 +12,8 @@ when it is absent they get a proxy whose *first use* raises a clean
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 NUMPY_INSTALL_HINT = (
     "numpy is required for this feature; install the optional extra with "
     "`pip install 'repro[fast]'` (or `pip install numpy`)"
@@ -26,14 +28,14 @@ except ImportError:  # pragma: no cover - container always has numpy
 class MissingNumpy:
     """Stand-in for the numpy module that fails loudly on first use."""
 
-    def __init__(self, feature: str = ""):
+    def __init__(self, feature: str = "") -> None:
         self._feature = feature
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         prefix = f"{self._feature}: " if self._feature else ""
         raise ImportError(prefix + NUMPY_INSTALL_HINT)
 
-    def __bool__(self):
+    def __bool__(self) -> bool:
         return False
 
 
@@ -43,12 +45,12 @@ np = _numpy if _numpy is not None else MissingNumpy()
 HAVE_NUMPY = _numpy is not None
 
 
-def numpy_version():
+def numpy_version() -> Optional[str]:
     """The installed numpy version string, or ``None`` when absent."""
-    return _numpy.__version__ if _numpy is not None else None
+    return str(_numpy.__version__) if _numpy is not None else None
 
 
-def require_numpy(feature: str):
+def require_numpy(feature: str) -> Any:
     """Return the real numpy module or raise a clean ImportError."""
     if _numpy is None:
         raise ImportError(f"{feature}: {NUMPY_INSTALL_HINT}")
@@ -71,6 +73,6 @@ numba = _numba
 HAVE_NUMBA = _numba is not None
 
 
-def numba_version():
+def numba_version() -> Optional[str]:
     """The installed numba version string, or ``None`` when absent."""
-    return _numba.__version__ if _numba is not None else None
+    return str(_numba.__version__) if _numba is not None else None

@@ -23,7 +23,7 @@ kernel silently falls back to the inherited sparse implementations.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.engine.result import WorkCounters
 from repro.runtime.base import KernelUnavailableError, register_kernel
@@ -38,17 +38,27 @@ from repro.runtime.sparse_kernel import SparseKernel
 
 #: compiled helper tuple, built lazily on first kernel construction;
 #: False means "tried and failed -- use the inherited paths"
-_JIT_HELPERS = None
+_JIT_HELPERS: Any = None
 
 _MODE_SUM, _MODE_MIN, _MODE_MAX = 0, 1, 2
 
 
-def _build_helpers():
+def _build_helpers() -> tuple:
     """Compile the inner loops once per process; None on any failure."""
     njit = numba.njit
 
     @njit(cache=False)
-    def accumulate(old, has, tmp, mode, acc, idx, new_out, changed, mags):
+    def accumulate(
+        old: Any,
+        has: Any,
+        tmp: Any,
+        mode: int,
+        acc: Any,
+        idx: Any,
+        new_out: Any,
+        changed: Any,
+        mags: Any,
+    ) -> tuple:
         combines = 0
         updates = 0
         for j in range(len(idx)):
@@ -81,7 +91,7 @@ def _build_helpers():
         return combines, updates
 
     @njit(cache=False)
-    def fold(codes, vals, n_uniq, mode):
+    def fold(codes: Any, vals: Any, n_uniq: int, mode: int) -> Any:
         if mode == _MODE_SUM:
             out = np.zeros(n_uniq, dtype=np.float64)
             for j in range(len(codes)):
@@ -116,7 +126,7 @@ def _build_helpers():
     return accumulate, fold
 
 
-def _helpers():
+def _helpers() -> Any:
     global _JIT_HELPERS
     if _JIT_HELPERS is None:
         try:
@@ -135,11 +145,11 @@ class JitKernel(SparseKernel):
 
     def __init__(
         self,
-        plan,
+        plan: Any,
         keys: Optional[Iterable] = None,
         counters: Optional[WorkCounters] = None,
         initial: Optional[dict] = None,
-    ):
+    ) -> None:
         if not self.available():
             raise KernelUnavailableError(f"JitKernel: {NUMBA_INSTALL_HINT}")
         super().__init__(plan, keys=keys, counters=counters, initial=initial)
@@ -152,7 +162,7 @@ class JitKernel(SparseKernel):
     def available(cls) -> bool:
         return HAVE_NUMPY and HAVE_NUMBA
 
-    def _vector_accumulate(self, idx, tmp):
+    def _vector_accumulate(self, idx: Any, tmp: Any) -> tuple:
         if self._jit is None or self._jit_mode is None:
             return super()._vector_accumulate(idx, tmp)
         accumulate, _ = self._jit
@@ -179,7 +189,7 @@ class JitKernel(SparseKernel):
             self._acc_order.extend(fresh.tolist())
         return changed, mags
 
-    def _fold_out(self, dsts, vals) -> dict:
+    def _fold_out(self, dsts: Any, vals: Any) -> dict:
         if self._jit is None or self._jit_mode is None:
             return super()._fold_out(dsts, vals)
         _, fold = self._jit

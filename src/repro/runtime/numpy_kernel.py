@@ -27,7 +27,7 @@ for that recursion body only.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.engine.result import WorkCounters
 from repro.runtime.base import (
@@ -45,10 +45,12 @@ class _FnGroup:
 
     __slots__ = ("fn", "cols", "raw_params", "vector_ok")
 
-    def __init__(self, fn, param_rows):
+    def __init__(self, fn: Callable, param_rows: list) -> None:
         self.fn = fn
-        self.raw_params = param_rows
-        self.cols = None
+        #: row-indexable parameter view (list here; a column view in the
+        #: sparse kernel's fused packer)
+        self.raw_params: Any = param_rows
+        self.cols: Optional[list] = None
         self.vector_ok = False
         if not param_rows:
             return
@@ -62,7 +64,7 @@ class _FnGroup:
             return  # non-numeric parameters: per-edge fallback
         self._probe(cols)
 
-    def _probe(self, cols) -> None:
+    def _probe(self, cols: list) -> None:
         """Accept ``cols`` as packed parameter columns if F' vectorises."""
         fn = self.fn
         param_rows = self.raw_params
@@ -84,9 +86,9 @@ class _FnGroup:
         self.cols = cols
         self.vector_ok = True
 
-    def apply(self, xs, rows):
+    def apply(self, xs: Any, rows: Any) -> Any:
         """F' over ``xs`` for the group-local edge ``rows``; float64 array."""
-        if self.vector_ok:
+        if self.vector_ok and self.cols is not None:
             out = np.asarray(self.fn(xs, *[col[rows] for col in self.cols]))
             if out.shape == ():
                 return np.full(xs.shape, float(out))
@@ -105,7 +107,7 @@ class _FnGroup:
 class _PlanCSR:
     """Immutable CSR view of ``plan.out_edges``, shared by all shards."""
 
-    def __init__(self, plan):
+    def __init__(self, plan: Any) -> None:
         order = plan_key_order(plan)
         keys_sorted = plan._kernel_keys_sorted
         n = len(keys_sorted)
@@ -140,7 +142,7 @@ class _PlanCSR:
             _FnGroup(fn, rows) for fn, rows in zip(fn_objs, fn_param_rows)
         ]
 
-    def gather(self, srcs, x):
+    def gather(self, srcs: Any, x: Any) -> tuple:
         """Flat edge ids + per-edge source values for a source batch."""
         starts = self.indptr[srcs]
         counts = self.indptr[srcs + 1] - starts
@@ -153,7 +155,7 @@ class _PlanCSR:
         eids = np.arange(total, dtype=np.int64) + offsets
         return eids, np.repeat(x, counts)
 
-    def apply_edges(self, eids, x_per_edge):
+    def apply_edges(self, eids: Any, x_per_edge: Any) -> tuple:
         """Evaluate F' for the given flat edge ids; (dsts, values)."""
         if len(self.groups) == 1:
             # single recursion body: efn is uniform, skip the mask pass
@@ -170,12 +172,12 @@ class _PlanCSR:
         return self.edst[eids], vals
 
 
-def _identity(value):
+def _identity(value: Any) -> Any:
     """Object-mode cast: keep semiring carrier values as-is."""
     return value
 
 
-def plan_csr(plan) -> _PlanCSR:
+def plan_csr(plan: Any) -> _PlanCSR:
     csr = getattr(plan, "_kernel_csr", None)
     if csr is None:
         csr = _PlanCSR(plan)
@@ -191,11 +193,11 @@ class NumpyKernel(Kernel):
 
     def __init__(
         self,
-        plan,
+        plan: Any,
         keys: Optional[Iterable] = None,
         counters: Optional[WorkCounters] = None,
         initial: Optional[dict] = None,
-    ):
+    ) -> None:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(
                 f"NumpyKernel: {NUMPY_INSTALL_HINT}"
@@ -221,6 +223,7 @@ class NumpyKernel(Kernel):
         #: historical bit-identical behaviour), identity for object mode
         self._cast = _identity if self._object_mode else float
         value_dtype = object if self._object_mode else np.float64
+        self._owned_mask: Optional[Any]
         if keys is None:
             self._owned_mask = None
         else:
@@ -245,7 +248,13 @@ class NumpyKernel(Kernel):
             self._acc_order.append(i)
 
     @classmethod
-    def from_plan(cls, plan, keys=None, counters=None, initial=None):
+    def from_plan(
+        cls,
+        plan: Any,
+        keys: Optional[Iterable] = None,
+        counters: Optional[WorkCounters] = None,
+        initial: Optional[dict] = None,
+    ) -> "NumpyKernel":
         return cls(plan, keys=keys, counters=counters, initial=initial)
 
     @classmethod
@@ -301,6 +310,11 @@ class NumpyKernel(Kernel):
 
     @intermediate.setter
     def intermediate(self, values: dict) -> None:
+        # subclasses hook the overridable method, not the property object
+        # (redecorating a base property's setter is invisible to mypy)
+        self._set_intermediate(values)
+
+    def _set_intermediate(self, values: dict) -> None:
         self._pend_has[:] = False
         self._pend_order = []
         cast = self._cast
@@ -310,10 +324,10 @@ class NumpyKernel(Kernel):
             self._pend_has[i] = True
             self._pend_order.append(i)
 
-    def push(self, key, value) -> None:
+    def push(self, key: Any, value: Any) -> None:
         self._push_idx(self._index[key], self._cast(value))
 
-    def _push_idx(self, i: int, value) -> None:
+    def _push_idx(self, i: int, value: Any) -> None:
         if self._pend_has[i]:
             self._pend[i] = self.aggregate.combine(self._cast(self._pend[i]), value)
             self.counters.combines += 1
@@ -322,7 +336,7 @@ class NumpyKernel(Kernel):
             self._pend_has[i] = True
             self._pend_order.append(i)
 
-    def fetch_and_reset(self, key):
+    def fetch_and_reset(self, key: Any) -> Any:
         i = self._index[key]
         if not self._pend_has[i]:
             return None
@@ -338,10 +352,10 @@ class NumpyKernel(Kernel):
         self._pend_order = []
         return drained
 
-    def accumulate(self, key, tmp) -> tuple[bool, float]:
+    def accumulate(self, key: Any, tmp: Any) -> tuple[bool, float]:
         return self._accumulate_idx(self._index[key], tmp)
 
-    def _accumulate_idx(self, i: int, tmp) -> tuple[bool, float]:
+    def _accumulate_idx(self, i: int, tmp: Any) -> tuple[bool, float]:
         aggregate = self.aggregate
         cast = self._cast
         if not self._acc_has[i]:
@@ -360,7 +374,7 @@ class NumpyKernel(Kernel):
         return True, aggregate.change_magnitude(new, old, tmp)
 
     # -- vectorised core --------------------------------------------------------
-    def _vector_accumulate(self, idx, tmp):
+    def _vector_accumulate(self, idx: Any, tmp: Any) -> tuple:
         """Batch accumulate; returns (changed_mask, magnitudes)."""
         has = self._acc_has[idx]
         old = self._acc[idx]
@@ -386,7 +400,7 @@ class NumpyKernel(Kernel):
             self._acc_order.extend(fresh.tolist())
         return changed, mags
 
-    def _round_core(self, idx, tmp, scatter_self: bool) -> BatchResult:
+    def _round_core(self, idx: Any, tmp: Any, scatter_self: bool) -> BatchResult:
         """One propagation round over an ascending-index batch."""
         counters = self.counters
         changed, mags = self._vector_accumulate(idx, tmp)
@@ -408,7 +422,7 @@ class NumpyKernel(Kernel):
             out_deltas=out, changed=n_changed, magnitude=magnitude, ops=ops
         )
 
-    def _fold_out(self, dsts, vals) -> dict:
+    def _fold_out(self, dsts: Any, vals: Any) -> dict:
         """Per-destination fold in arrival order, first-occurrence keyed."""
         counters = self.counters
         uniq, first_pos, inv = np.unique(
@@ -435,7 +449,7 @@ class NumpyKernel(Kernel):
             out[keys[dst_idx]] = float(folded[rank_pos])
         return out
 
-    def _fold_out_scalar(self, dsts, vals) -> dict:
+    def _fold_out_scalar(self, dsts: Any, vals: Any) -> dict:
         combine = self.aggregate.combine
         counters = self.counters
         keys = self._keys
@@ -450,7 +464,7 @@ class NumpyKernel(Kernel):
                 counters.combines += 1
         return out
 
-    def _scatter_pending(self, dsts, vals) -> None:
+    def _scatter_pending(self, dsts: Any, vals: Any) -> None:
         """Scatter a round's contributions into the (empty) pending column."""
         n = self._csr.n
         if self._mode == "sum":
@@ -588,6 +602,8 @@ class NumpyKernel(Kernel):
                 d = index[dst]
                 if owned is None or owned[d]:
                     self._push_idx(d, value)
+                elif emit is None:
+                    raise TypeError("foreign contribution without an emit callback")
                 else:
                     emit(dst, value, ops)
         counters.fprime_applications += edges_applied
@@ -635,6 +651,8 @@ class NumpyKernel(Kernel):
                         pend[d] = v
                         pend_has[d] = True
                         self._pend_order.append(int(d))
+                elif emit is None:
+                    raise TypeError("foreign contribution without an emit callback")
                 else:
                     emit(key_names[d], v, ops)
         counters.fprime_applications += edges_applied
@@ -642,7 +660,7 @@ class NumpyKernel(Kernel):
 
     # -- whole-table sweep (naive BSP mode) -------------------------------------
     @classmethod
-    def full_contributions(cls, plan, values: dict) -> list:
+    def full_contributions(cls, plan: Any, values: dict) -> list:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
         if not plan.aggregate.numeric_values:
@@ -674,7 +692,12 @@ class NumpyKernel(Kernel):
 
     # -- relational-path helpers ------------------------------------------------
     @classmethod
-    def fold_contributions(cls, aggregate, contributions, counters=None) -> dict:
+    def fold_contributions(
+        cls,
+        aggregate: Any,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
+    ) -> dict:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
         mode = aggregate.fold_mode if aggregate.numeric_values else None
@@ -705,7 +728,13 @@ class NumpyKernel(Kernel):
         return {key: float(folded[c]) for key, c in index.items()}
 
     @classmethod
-    def improve_contributions(cls, aggregate, current, contributions, counters=None) -> dict:
+    def improve_contributions(
+        cls,
+        aggregate: Any,
+        current: dict,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
+    ) -> dict:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"NumpyKernel: {NUMPY_INSTALL_HINT}")
         mode = aggregate.fold_mode if aggregate.numeric_values else None

@@ -16,13 +16,13 @@ Semantics notes that the NumpyKernel mirrors bit-for-bit:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.engine.result import WorkCounters
 from repro.runtime.base import BatchResult, Kernel, register_kernel
 
 
-def plan_key_order(plan) -> dict:
+def plan_key_order(plan: Any) -> dict:
     """key -> canonical dense index over ``sorted(plan.keys)`` (cached)."""
     order = getattr(plan, "_kernel_key_order", None)
     if order is None:
@@ -44,17 +44,18 @@ class PythonKernel(Kernel):
 
     def __init__(
         self,
-        plan,
+        plan: Any,
         keys: Optional[Iterable] = None,
         counters: Optional[WorkCounters] = None,
         initial: Optional[dict] = None,
-    ):
+    ) -> None:
         self.plan = plan
         self.aggregate = plan.aggregate
         self.counters = counters if counters is not None else WorkCounters()
         self._order = plan_key_order(plan)
         if initial is None:
             initial = plan.initial
+        self._owned: Optional[set]
         if keys is None:
             self._owned = None
             self.accumulated: dict = dict(initial)
@@ -66,11 +67,17 @@ class PythonKernel(Kernel):
         self.intermediate: dict = {}
 
     @classmethod
-    def from_plan(cls, plan, keys=None, counters=None, initial=None):
+    def from_plan(
+        cls,
+        plan: Any,
+        keys: Optional[Iterable] = None,
+        counters: Optional[WorkCounters] = None,
+        initial: Optional[dict] = None,
+    ) -> "PythonKernel":
         return cls(plan, keys=keys, counters=counters, initial=initial)
 
     # -- MonoTable protocol -----------------------------------------------------
-    def push(self, key, value) -> None:
+    def push(self, key: Any, value: Any) -> None:
         current = self.intermediate.get(key)
         if current is None:
             self.intermediate[key] = value
@@ -78,7 +85,7 @@ class PythonKernel(Kernel):
             self.intermediate[key] = self.aggregate.combine(current, value)
             self.counters.combines += 1
 
-    def fetch_and_reset(self, key):
+    def fetch_and_reset(self, key: Any) -> Any:
         return self.intermediate.pop(key, None)
 
     def drain_all(self) -> dict:
@@ -86,7 +93,7 @@ class PythonKernel(Kernel):
         self.intermediate = {}
         return drained
 
-    def accumulate(self, key, tmp) -> tuple[bool, float]:
+    def accumulate(self, key: Any, tmp: Any) -> tuple[bool, float]:
         aggregate = self.aggregate
         old = self.accumulated.get(key)
         if old is None:
@@ -167,6 +174,8 @@ class PythonKernel(Kernel):
                 edges_applied += 1
                 if owned is None or dst in owned:
                     self.push(dst, value)
+                elif emit is None:
+                    raise TypeError("foreign contribution without an emit callback")
                 else:
                     emit(dst, value, ops)
         counters.fprime_applications += edges_applied
@@ -174,7 +183,7 @@ class PythonKernel(Kernel):
 
     # -- whole-table sweep (naive BSP mode) -------------------------------------
     @classmethod
-    def full_contributions(cls, plan, values: dict) -> list:
+    def full_contributions(cls, plan: Any, values: dict) -> list:
         triples = []
         for src, value in values.items():
             for dst, params, fn in plan.edges_from(src):
@@ -183,7 +192,12 @@ class PythonKernel(Kernel):
 
     # -- relational-path helpers ------------------------------------------------
     @classmethod
-    def fold_contributions(cls, aggregate, contributions, counters=None) -> dict:
+    def fold_contributions(
+        cls,
+        aggregate: Any,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
+    ) -> dict:
         combine = aggregate.combine
         out: dict = {}
         for key, value in contributions:
@@ -197,7 +211,13 @@ class PythonKernel(Kernel):
         return out
 
     @classmethod
-    def improve_contributions(cls, aggregate, current, contributions, counters=None) -> dict:
+    def improve_contributions(
+        cls,
+        aggregate: Any,
+        current: dict,
+        contributions: list,
+        counters: Optional[WorkCounters] = None,
+    ) -> dict:
         combine = aggregate.combine
         changed: dict = {}
         for key, value in contributions:

@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import math
 from array import array as _array
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.engine.result import WorkCounters
 from repro.runtime.base import (
@@ -96,19 +96,19 @@ class _ColumnRows:
 
     __slots__ = ("_cols", "_perm")
 
-    def __init__(self, cols, perm):
+    def __init__(self, cols: Any, perm: Any) -> None:
         self._cols = cols
         self._perm = perm
 
     def __len__(self) -> int:
         return len(self._perm)
 
-    def __getitem__(self, j) -> tuple:
+    def __getitem__(self, j: int) -> tuple:
         p = self._perm[j]
         return tuple(col[p] for col in self._cols)
 
 
-def _fn_group_from_columns(columns, perm) -> _FnGroup:
+def _fn_group_from_columns(columns: Any, perm: Any) -> _FnGroup:
     """A content-identical :class:`_FnGroup` packed from edge columns.
 
     The reference constructor materialises each parameter column with a
@@ -138,7 +138,7 @@ def _fn_group_from_columns(columns, perm) -> _FnGroup:
     return group
 
 
-def _sorted_int_keys(keys_sorted, n):
+def _sorted_int_keys(keys_sorted: Any, n: int) -> Any:
     """``keys_sorted`` as a sorted int64 array, or None for other keys.
 
     The all-integer key universe is the vectorizable case: a key column
@@ -157,7 +157,7 @@ def _sorted_int_keys(keys_sorted, n):
     return arr.astype(np.int64, copy=False)
 
 
-def _key_codes(col, order, keys_arr, m):
+def _key_codes(col: Any, order: dict, keys_arr: Any, m: int) -> Any:
     """Map a key column to canonical codes (C-speed for typed columns)."""
     if keys_arr is not None and isinstance(col, _array):
         vals = np.frombuffer(col, dtype=np.int64)
@@ -167,7 +167,7 @@ def _key_codes(col, order, keys_arr, m):
     return np.fromiter(map(order.__getitem__, col), dtype=np.int64, count=m)
 
 
-def fast_plan_csr(plan) -> _PlanCSR:
+def fast_plan_csr(plan: Any) -> _PlanCSR:
     """Pack the plan CSR without per-edge Python loops (content-identical).
 
     Single-recursion-body plans compiled with columnar edge storage
@@ -233,7 +233,7 @@ class SparseKernel(NumpyKernel):
     backend = "sparse"
 
     @classmethod
-    def supports_plan(cls, plan) -> bool:
+    def supports_plan(cls, plan: Any) -> bool:
         """Frontier compaction and value buckets live in float64 arrays,
         so non-numeric semiring carriers (k-tropical ``KTuple``) are
         refused; callers fall back to the python/numpy object paths."""
@@ -241,11 +241,11 @@ class SparseKernel(NumpyKernel):
 
     def __init__(
         self,
-        plan,
+        plan: Any,
         keys: Optional[Iterable] = None,
         counters: Optional[WorkCounters] = None,
         initial: Optional[dict] = None,
-    ):
+    ) -> None:
         if not HAVE_NUMPY:
             raise KernelUnavailableError(f"SparseKernel: {NUMPY_INSTALL_HINT}")
         if not self.supports_plan(plan):
@@ -266,7 +266,7 @@ class SparseKernel(NumpyKernel):
 
     # -- ΔX¹ (section 3.3), fused for selective aggregates ----------------------
     @classmethod
-    def initial_delta(cls, plan) -> dict:
+    def initial_delta(cls, plan: Any) -> dict:
         aggregate = plan.aggregate
         if not HAVE_NUMPY or aggregate.name not in ("min", "max"):
             return super().initial_delta(plan)
@@ -412,7 +412,7 @@ class SparseKernel(NumpyKernel):
             for i in self._pend_order:
                 self._bucket_put(i, float(pend[i]))
 
-    def fetch_and_reset(self, key):
+    def fetch_and_reset(self, key: Any) -> Any:
         value = super().fetch_and_reset(key)
         if value is not None:
             self._pend_live -= 1
@@ -430,8 +430,7 @@ class SparseKernel(NumpyKernel):
             self._buckets.clear()
         return drained
 
-    @NumpyKernel.intermediate.setter
-    def intermediate(self, values: dict) -> None:
+    def _set_intermediate(self, values: dict) -> None:
         self._pend_has[:] = False
         self._pend_order = []
         self._pend_live = 0
@@ -448,7 +447,7 @@ class SparseKernel(NumpyKernel):
             if self._bucket_width is not None:
                 self._bucket_put(i, float(value))
 
-    def _scatter_pending(self, dsts, vals) -> None:
+    def _scatter_pending(self, dsts: Any, vals: Any) -> None:
         # only reached from step()'s round, where pending is empty
         if self._mode == "other":
             for d, v in zip(dsts.tolist(), vals.tolist()):
@@ -498,7 +497,7 @@ class SparseKernel(NumpyKernel):
                 self._bucket_put(i, float(pend[i]))
 
     # -- the inner loop over the compacted frontier -----------------------------
-    def _take_frontier(self):
+    def _take_frontier(self) -> tuple:
         """Drain the frontier as (ascending idx array, values) or None."""
         if not self._pend_live:
             return None, None
@@ -569,6 +568,8 @@ class SparseKernel(NumpyKernel):
                 ops += 1
                 if owned is None or owned[d]:
                     self._push_idx(int(d), v)
+                elif emit is None:
+                    raise TypeError("foreign contribution without an emit callback")
                 else:
                     emit(key_names[d], v, ops)
         counters.fprime_applications += edges_applied
@@ -607,11 +608,7 @@ class SparseKernel(NumpyKernel):
             self._bucket_put(i, float(pend[i]))
 
     def _bucket_put(self, i: int, value: float) -> None:
-        q = value / self._bucket_width
-        if -math.inf < q < math.inf:
-            bid = math.floor(q)
-        else:
-            bid = _FAR_BUCKET if not q < 0 else -_FAR_BUCKET
+        bid = self._bucket_bid(value)
         bucket = self._buckets.get(bid)
         if bucket is None:
             self._buckets[bid] = [i]
@@ -619,7 +616,9 @@ class SparseKernel(NumpyKernel):
             bucket.append(i)
 
     def _bucket_bid(self, value: float) -> int:
-        q = value / self._bucket_width
+        width = self._bucket_width
+        assert width is not None  # callers gate on bucketing being enabled
+        q = value / width
         if -math.inf < q < math.inf:
             return math.floor(q)
         return _FAR_BUCKET if not q < 0 else -_FAR_BUCKET

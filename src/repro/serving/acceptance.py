@@ -17,7 +17,11 @@ chaos) and checks the robustness contract end to end:
   ``ADDITIVE_TOLERANCE`` for additive ones);
 * **breaker visibility** -- when the chaos plan includes an outage, the
   trip and half-open transitions must be visible in the ``repro.obs``
-  trace stream.
+  trace stream;
+* **static-cost pricing** -- every computed answer's (program, graph
+  version) pair traces to an abstract-interpretation cost estimate the
+  SLO report records under the current schema, so deadline pricing was
+  never flying blind before the first measured profile.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from repro.obs import Observability
 from repro.programs import get_program
 from repro.serving.request import TERMINAL_STATUSES
 from repro.serving.service import ServeConfig, ServingService
-from repro.serving.slo import build_report, report_to_json
+from repro.serving.slo import SLO_REPORT_SCHEMA, build_report, report_to_json
 from repro.serving.workload import WorkloadSpec
 
 
@@ -71,6 +75,9 @@ class ServeAcceptance:
     agreements: list = field(default_factory=list)
     #: None when the chaos plan could not have tripped a breaker
     breaker_visible: Optional[bool] = None
+    #: every computed answer traces to a static cost estimate the report
+    #: records under the current schema (the deadline-pricing contract)
+    static_pricing: bool = True
 
     @property
     def all_agreed(self) -> bool:
@@ -83,6 +90,7 @@ class ServeAcceptance:
             and self.no_lost_requests
             and self.all_agreed
             and self.breaker_visible is not False
+            and self.static_pricing
         )
 
     def summary(self) -> str:
@@ -97,6 +105,7 @@ class ServeAcceptance:
             f"answer-agreement   {mark(self.all_agreed)} "
             f"({len(self.agreements)} engine runs checked)",
             f"breaker-visibility {mark(self.breaker_visible)}",
+            f"static-pricing     {mark(self.static_pricing)}",
         ]
         lines.extend("  " + check.row() for check in self.agreements)
         lines.append(f"acceptance: {'PASS' if self.passed else 'FAIL'}")
@@ -166,6 +175,20 @@ def _check_agreement(service, outcome, config, seed) -> list:
     return checks
 
 
+def _check_static_pricing(outcome, report) -> bool:
+    """Every computed answer's (program, version) must have had a static
+    cost estimate consulted at its first dispatch, and the report must
+    record it under the current schema."""
+    if report.get("schema") != SLO_REPORT_SCHEMA:
+        return False
+    table = report.get("static_costs", {})
+    return all(
+        f"{r.program}@v{r.graph_version}" in table
+        for r in outcome.responses
+        if r.served_from == "compute"
+    )
+
+
 def _breaker_events(obs) -> list:
     return [e for e in obs.trace.events if e["kind"] == "serve.breaker"]
 
@@ -210,4 +233,5 @@ def run_serve_acceptance(
         no_lost_requests=_check_no_lost(outcome, spec),
         agreements=_check_agreement(service, outcome, config, seed),
         breaker_visible=breaker_visible,
+        static_pricing=_check_static_pricing(outcome, report),
     )

@@ -65,7 +65,7 @@ from repro.distributed.aap import AAPEngine
 from repro.distributed.async_engine import AsyncEngine
 from repro.distributed.chaos import FaultSchedule
 from repro.distributed.chaos_harness import default_graph
-from repro.distributed.cluster import ClusterConfig
+from repro.distributed.cluster import ClusterConfig, CostModel
 from repro.distributed.fault import Checkpointer
 from repro.distributed.sync_engine import SyncEngine
 from repro.distributed.unified import UnifiedEngine
@@ -169,10 +169,14 @@ class ServeConfig:
     graph_seed: int = 7
     #: fraction of head edges inserted by each version-bump delta
     delta_fraction: float = 0.02
-    #: simulated cost per repair op (accumulate attempts + edge
-    #: applications) when a stale certified fixpoint is repaired in
-    #: place instead of recomputed
-    repair_op_cost: float = 1e-5
+    #: the distributed cost model that prices everything the service
+    #: predicts instead of measures: repair ops (accumulate attempts +
+    #: edge applications, at ``tuple_cost`` per op spread over the
+    #: workers) and the abstract-interpretation static cost estimate
+    #: used for deadline pricing before any profile was measured.  This
+    #: replaced the old flat per-op repair constant, so repair and
+    #: deadline decisions share one currency with the engines.
+    cost_model: CostModel = CostModel()
     backend: Optional[str] = None
 
 
@@ -207,6 +211,9 @@ class ServeOutcome:
     makespan: float
     seed: int
     final_graph_version: int
+    #: static cost estimates consulted for deadline pricing, keyed
+    #: ``"program@vN"`` (the abstract-interpretation cost section)
+    static_costs: dict = field(default_factory=dict)
 
 
 #: fraction of head edges each serving version bump inserts when the
@@ -239,8 +246,25 @@ def serving_delta(
 def serving_view(
     program: str, graph_seed: int = 7
 ) -> MutableGraphView:
-    """A fresh versioned view over the program's base serving graph."""
-    return MutableGraphView(default_graph(program, seed=graph_seed))
+    """A fresh versioned view over the program's base serving graph.
+
+    Counting programs get their multiplicities materialised in the
+    builders' own ``[1, 3]`` regime rather than the view's generic
+    ``[1, 10]`` edge weights: ``multiplicity_dag_db`` certifies the
+    exact walk bound against ``2**53`` and (rightly) refuses the
+    generic weights, whose walk counts overflow float64 exactness on
+    the serving DAG.
+    """
+    from repro.programs import builders
+
+    base = default_graph(program, seed=graph_seed)
+    spec = get_program(program)
+    if (
+        spec.build_database is builders.multiplicity_dag_db
+        and base.weights is None
+    ):
+        base = base.with_weights(1, 3)
+    return MutableGraphView(base)
 
 
 def serving_graph(
@@ -292,6 +316,7 @@ class ServingService:
         self._resume_profiles: dict = {}
         self._views: dict = {}
         self._incremental_modes: dict = {}
+        self._static_costs: dict = {}
 
     # -- versioned graphs (mutation ingests as applied deltas) ---------------
     def _view(self, program: str) -> MutableGraphView:
@@ -331,6 +356,25 @@ class ServingService:
             spec = get_program(program)
             self._plans[key] = spec.plan(self._graph(program, version))
         return self._plans[key]
+
+    # -- static cost (abstract interpretation) -------------------------------
+    def static_cost(self, program: str, version: int):
+        """Memoised abstract-interpretation cost estimate for the plan."""
+        key = (program, version)
+        estimate = self._static_costs.get(key)
+        if estimate is None:
+            from repro.analysis.absint import estimate_plan_cost
+
+            estimate = estimate_plan_cost(self._plan(program, version))
+            self._static_costs[key] = estimate
+        return estimate
+
+    def predicted_duration(self, program: str, version: int) -> float:
+        """Deadline-pricing prediction before any profile was measured,
+        in the same simulated-seconds currency the engines report."""
+        return self.static_cost(program, version).est_seconds(
+            self.config.cost_model, workers=self.config.workers
+        )
 
     def _termination(self, plan, params: tuple):
         scale = dict(params).get("eps_scale")
@@ -408,11 +452,13 @@ class ServingService:
         )
         if repair.stop_reason not in _CERTIFIED_STOPS:
             return None
+        model = self.config.cost_model
         profile = ExecutionProfile(
             key=key,
             values=repair.values,
             duration=self.config.cache_cost
-            + repair.ops * self.config.repair_op_cost,
+            + model.job_overhead
+            + repair.ops * model.tuple_cost / max(1, self.config.workers),
             stop_reason=repair.stop_reason,
             resumed=False,
             repaired=True,
@@ -504,6 +550,7 @@ class _ServingRun:
         self._parked: dict = {}  # engine -> [request, ...]
         self._states: dict = {}  # request id -> lifecycle state
         self.responses: dict = {}
+        self.static_costs: dict = {}  # "program@vN" -> consulted estimate
         self.queue_depth: dict = {}  # tenant -> waiting-for-first-dispatch
         self.counters: dict = {
             "arrivals": 0,
@@ -729,18 +776,21 @@ class _ServingRun:
                     "serve.park", request=request.id, engine=request.engine
                 )
             return False
-        # deadline-aware skip: when the cost of computing is already
-        # known and provably blows the deadline, degrade right away
+        # deadline-aware skip: when the cost of computing provably blows
+        # the deadline, degrade right away.  A measured profile is exact;
+        # before one exists the abstract-interpretation static estimate
+        # (priced in the cost-model currency) stands in for it.
         profile = self._known_profile(request)
-        if (
-            profile is not None
-            and self.now + profile.duration > request.deadline
-        ):
+        if profile is not None:
+            predicted, basis = profile.duration, "measured"
+        else:
+            predicted, basis = self._static_prediction(request), "static"
+        if self.now + predicted > request.deadline:
             stale = self.cache.fallback(
                 request.program, self.graph_version, request.params
             )
             if stale is not None:
-                self._serve_stale(request, stale, "deadline-skip")
+                self._serve_stale(request, stale, f"deadline-skip-{basis}")
                 return False
         return self._start_attempt(request, breaker)
 
@@ -764,6 +814,29 @@ class _ServingRun:
             self.obs.metrics.gauge(
                 "serve.queue_depth", depth - 1, t=self.now, tenant=request.tenant
             )
+
+    def _static_prediction(self, request: Request) -> float:
+        """The static deadline price for ``request`` at the current graph
+        version; the estimates actually consulted end up in the report."""
+        seconds = self.service.predicted_duration(
+            request.program, self.graph_version
+        )
+        label = f"{request.program}@v{self.graph_version}"
+        if label not in self.static_costs:
+            estimate = self.service.static_cost(
+                request.program, self.graph_version
+            )
+            entry = estimate.to_dict()
+            entry["est_seconds"] = seconds
+            self.static_costs[label] = entry
+            if self.obs.enabled:
+                self.obs.metrics.gauge(
+                    "serve.static_cost_est",
+                    seconds,
+                    t=self.now,
+                    program=request.program,
+                )
+        return seconds
 
     def _known_profile(self, request: Request):
         key = (
@@ -981,4 +1054,8 @@ class _ServingRun:
             makespan=makespan,
             seed=self.seed,
             final_graph_version=self.graph_version,
+            static_costs={
+                label: self.static_costs[label]
+                for label in sorted(self.static_costs)
+            },
         )

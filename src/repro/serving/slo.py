@@ -24,7 +24,9 @@ from repro.serving.request import (
 )
 
 #: bump when the report layout changes
-SLO_REPORT_SCHEMA = 2
+#: (3: static-cost deadline pricing -- ``config.cost_model`` constants
+#: and the per-(program, version) ``static_costs`` section)
+SLO_REPORT_SCHEMA = 3
 
 
 def percentile(values, q: float) -> float:
@@ -117,6 +119,13 @@ def build_report(outcome, spec, config, chaos=None) -> dict:
             "max_attempts": config.max_attempts,
             "breaker_threshold": config.breaker_threshold,
             "breaker_reset": config.breaker_reset,
+            # the cost-model currency pricing repairs and static
+            # deadline predictions (schema 3)
+            "cost_model": {
+                "tuple_cost": config.cost_model.tuple_cost,
+                "barrier_cost": config.cost_model.barrier_cost,
+                "job_overhead": config.cost_model.job_overhead,
+            },
         },
         "makespan": outcome.makespan,
         "throughput": len(served) / outcome.makespan if outcome.makespan else 0.0,
@@ -144,6 +153,14 @@ def build_report(outcome, spec, config, chaos=None) -> dict:
             ),
         },
         "final_graph_version": outcome.final_graph_version,
+        # every abstract-interpretation cost estimate consulted for
+        # deadline pricing, keyed "program@vN" (schema 3)
+        "static_costs": {
+            label: dict(entry)
+            for label, entry in sorted(
+                getattr(outcome, "static_costs", {}).items()
+            )
+        },
     }
     return _round(report)
 
@@ -186,6 +203,14 @@ def render_text(report: dict) -> str:
         f"failures={report['counters']['attempt_failures']} "
         f"retries={report['counters']['retries']}"
     )
+    if report.get("static_costs"):
+        lines.append(
+            "  static pricing: "
+            + "  ".join(
+                f"{label}={entry['est_seconds']:.3f}s"
+                for label, entry in sorted(report["static_costs"].items())
+            )
+        )
     fault_totals = report["engine_runs"]["fault_totals"]
     if fault_totals:
         text = ", ".join(f"{k}={v}" for k, v in sorted(fault_totals.items()))

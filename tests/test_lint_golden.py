@@ -25,14 +25,16 @@ REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
 
 EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.dl"))
 
-# bad examples fail plain lint; the async-ineligible one only fails
-# gated, and the two semiring-violation seeds warn without failing
+# bad examples fail plain lint; the async-ineligible and overflow ones
+# only fail gated, and the two semiring-violation seeds warn without
+# failing
 EXPECTED_EXIT = {
     "bad_unstratifiable": 1,
     "bad_unbound": 1,
     "bad_async_ineligible": 0,
     "bad_mean_semiring": 0,
     "bad_uncertified_times": 0,
+    "bad_overflow": 0,
 }
 
 
@@ -85,6 +87,17 @@ class TestExampleGoldens:
         assert main(["lint", target, "--gate", "async"]) == 0
         capsys.readouterr()
 
+    def test_overflow_gate_fails_unbounded_example(self, capsys):
+        target = str(EXAMPLES_DIR / "bad_overflow.dl")
+        assert main(["lint", target, "--gate", "overflow"]) == 1
+        out = capsys.readouterr().out
+        assert "RA351" in out
+
+    def test_overflow_gate_passes_bounded_example(self, capsys):
+        target = str(EXAMPLES_DIR / "reachable_cost.dl")
+        assert main(["lint", target, "--gate", "overflow"]) == 0
+        capsys.readouterr()
+
 
 class TestStableCodes:
     """The specific codes the seeded-bad examples were seeded to produce."""
@@ -114,6 +127,11 @@ class TestStableCodes:
         # declared ⊕-semiring but an F' outside the pattern table: the
         # ⊗ obligation is not structurally discharged
         self.expect_codes(capsys, "bad_uncertified_times", {"RA342", "RA310"})
+
+    def test_overflow(self, capsys):
+        # the assume-declared factor >= 2 proves multiplicative growth
+        # with no epsilon stop: the symbolic range pass must warn
+        self.expect_codes(capsys, "bad_overflow", {"RA351"})
 
 
 class TestIncrementalCodes:

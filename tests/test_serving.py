@@ -464,6 +464,74 @@ class TestDeltaRepair:
         assert report["engine_runs"]["distinct"] == 1
 
 
+class TestStaticPricing:
+    """Deadline pricing from the abstract cost estimates (schema 3)."""
+
+    @staticmethod
+    def _request(id, arrival, engine="sync", deadline=None):
+        return Request(
+            id=id,
+            tenant="solo",
+            program="sssp",
+            engine=engine,
+            arrival=arrival,
+            deadline=arrival + 6.0 if deadline is None else deadline,
+        )
+
+    def test_consulted_estimates_land_in_the_outcome(self):
+        spec = single_spec(num_requests=2)
+        config = ServeConfig()
+        outcome = ServingService(config).run(spec, seed=5)
+        assert "sssp@v1" in outcome.static_costs
+        entry = outcome.static_costs["sssp@v1"]
+        model = config.cost_model
+        expected = (
+            model.job_overhead
+            + entry["supersteps"] * model.barrier_cost
+            + entry["work"] * model.tuple_cost / config.workers
+        )
+        assert entry["est_seconds"] == pytest.approx(expected)
+        assert entry["recommended_backend"] == "sparse"
+
+    def test_deadline_skip_prices_statically_before_any_profile(self):
+        from repro.distributed.cluster import CostModel
+
+        # barriers priced absurdly high: the static prediction blows
+        # every deadline.  Request 0 has no fallback, so it runs anyway
+        # (measured time is engine-simulated, not predicted); request 1
+        # -- a different engine, hence no measured profile -- degrades
+        # to the stale entry on the static basis without running
+        spec = single_spec(
+            num_requests=2, engine_mix=(("sync", 0.5), ("async", 0.5))
+        )
+        config = ServeConfig(
+            freshness_ttl=0.0,
+            cost_model=CostModel().with_overrides(barrier_cost=50.0),
+        )
+        requests = [
+            self._request(0, 0.0),
+            self._request(1, 1.0, engine="async", deadline=1.5),
+        ]
+        outcome = ServingService(config).serve(requests, spec, seed=5)
+        first, second = outcome.responses
+        assert first.status == OK
+        assert second.status == OK_STALE
+        assert second.detail == "deadline-skip-static"
+        assert outcome.counters["executions_full"] == 1
+
+    def test_report_exposes_pricing_and_estimates(self):
+        spec = single_spec(num_requests=4)
+        config = ServeConfig()
+        report = build_report(
+            ServingService(config).run(spec, seed=5), spec, config
+        )
+        assert report["schema"] == 3
+        pricing = report["config"]["cost_model"]
+        assert pricing["tuple_cost"] == config.cost_model.tuple_cost
+        assert pricing["barrier_cost"] == config.cost_model.barrier_cost
+        assert "sssp@v1" in report["static_costs"]
+
+
 class TestReport:
     def test_report_bytes_are_deterministic(self):
         spec = WorkloadSpec(num_requests=30)

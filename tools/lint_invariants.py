@@ -14,8 +14,11 @@ become flaky.  Two classes of call break that:
   no seed: all randomness must flow from an explicit seed.
 
 Scope: ``src/repro/engine``, ``src/repro/runtime``,
-``src/repro/distributed`` (the deterministic core).  The CLI, bench
-harness and obs layers may legitimately read the host clock.
+``src/repro/distributed``, ``src/repro/serving`` and ``src/repro/delta``
+(the deterministic core plus the simulated-clock serving loop and the
+delta-repair subsystem, whose byte-identical SLO reports and repair
+replays depend on the same invariants).  The CLI, bench harness and obs
+layers may legitimately read the host clock.
 
 Exit code 0 when clean, 1 with one ``file:line: message`` per violation
 otherwise.  Pure stdlib; wired into ``make lint`` and CI.
@@ -32,6 +35,8 @@ DEFAULT_SCOPE = (
     REPO_ROOT / "src" / "repro" / "engine",
     REPO_ROOT / "src" / "repro" / "runtime",
     REPO_ROOT / "src" / "repro" / "distributed",
+    REPO_ROOT / "src" / "repro" / "serving",
+    REPO_ROOT / "src" / "repro" / "delta",
 )
 
 #: (module, attribute) calls that read the host wall clock
